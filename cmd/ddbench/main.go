@@ -1,0 +1,134 @@
+// Command ddbench regenerates the paper's evaluation artefacts:
+//
+//	Fig. 8  — speed-up of strategy k-operations over k
+//	Fig. 9  — speed-up of strategy max-size over s_max
+//	Table I — grover benchmarks with strategy DD-repeating
+//	Table II — shor benchmarks with strategy DD-construct
+//	Fig. 5  — DD size traces along Eq. 1 vs. combined operations
+//	adaptive — ratio sweep of the adaptive strategy (ablation, not in "all")
+//
+// Usage:
+//
+//	ddbench -experiment all                 # quick suite (~10 minutes)
+//	ddbench -experiment table2 -full        # include the paper's moduli
+//	ddbench -experiment fig8 -reps 3        # tighter timing
+//	ddbench -experiment fig9 -csvdir out/   # also write raw CSV data
+//
+// Absolute times depend on the machine; the shapes (where the speed-up
+// peaks, who wins by how much, which runs time out) are what the paper
+// reports and what this harness reproduces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "all | fig5 | fig8 | fig9 | table1 | table2 | adaptive")
+		full       = flag.Bool("full", false, "larger instances (several minutes; table2 adds the paper's moduli)")
+		reps       = flag.Int("reps", 1, "timing repetitions (fastest run reported)")
+		budget     = flag.Duration("budget", 30*time.Second, "per-run timeout (paper: 2 CPU hours)")
+		csvDir     = flag.String("csvdir", "", "also write raw experiment data as CSV files into this directory")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Reps: *reps, Budget: *budget, Full: *full}
+
+	run := func(name string, f func(bench.Config) (text, csv string, err error)) {
+		start := time.Now()
+		text, csv, err := f(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+		if *csvDir != "" && csv != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "ddbench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "ddbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("[raw data written to %s]\n", path)
+		}
+		fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	all := *experiment == "all"
+	ran := false
+	if all || *experiment == "fig5" {
+		run("fig5", func(cfg bench.Config) (string, string, error) {
+			r, err := bench.Fig5(cfg)
+			if err != nil {
+				return "", "", err
+			}
+			return bench.RenderFig5(r), bench.TraceCSV(r), nil
+		})
+		ran = true
+	}
+	if all || *experiment == "fig8" {
+		run("fig8", func(cfg bench.Config) (string, string, error) {
+			r, err := bench.Fig8(cfg)
+			if err != nil {
+				return "", "", err
+			}
+			return bench.RenderSweep(r), r.CSV(), nil
+		})
+		ran = true
+	}
+	if all || *experiment == "fig9" {
+		run("fig9", func(cfg bench.Config) (string, string, error) {
+			r, err := bench.Fig9(cfg)
+			if err != nil {
+				return "", "", err
+			}
+			return bench.RenderSweep(r), r.CSV(), nil
+		})
+		ran = true
+	}
+	if all || *experiment == "table1" {
+		run("table1", func(cfg bench.Config) (string, string, error) {
+			rows, err := bench.Table1(cfg)
+			if err != nil {
+				return "", "", err
+			}
+			return bench.RenderTable1(rows), bench.Table1CSV(rows), nil
+		})
+		ran = true
+	}
+	if all || *experiment == "table2" {
+		run("table2", func(cfg bench.Config) (string, string, error) {
+			rows, err := bench.Table2(cfg)
+			if err != nil {
+				return "", "", err
+			}
+			return bench.RenderTable2(rows, cfg.Budget.Seconds()),
+				bench.Table2CSV(rows, cfg.Budget.Seconds()), nil
+		})
+		ran = true
+	}
+	if *experiment == "adaptive" { // ablation beyond the paper; not part of "all"
+		run("adaptive", func(cfg bench.Config) (string, string, error) {
+			r, err := bench.AdaptiveSweep(cfg)
+			if err != nil {
+				return "", "", err
+			}
+			return bench.RenderSweep(r), r.CSV(), nil
+		})
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ddbench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,134 @@
+// Command ddgen generates benchmark circuits in the native textual
+// format or OpenQASM 2.0.
+//
+// Usage:
+//
+//	ddgen -algo grover -n 8 -marked 42
+//	ddgen -algo supremacy -rows 4 -cols 4 -depth 16 -seed 7 -format qasm
+//	ddgen -algo qft -n 10
+//	ddgen -algo bv -n 16 -secret 0xbeef
+//	ddgen -algo dj -n 10 -mask 0x2a
+//	ddgen -algo qpe -n 8 -theta 0.3125
+//	ddgen -algo shor-cu -modulus 15 -base 7      # one controlled U_a block
+//
+// The circuit is written to stdout (or -out FILE).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/algos"
+	"repro/internal/circuit"
+	"repro/internal/grover"
+	"repro/internal/qasm"
+	"repro/internal/qft"
+	"repro/internal/shor"
+	"repro/internal/supremacy"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "", "grover | supremacy | qft | bv | dj | qpe | shor-cu")
+		n       = flag.Int("n", 8, "register size (grover/qft/bv/dj/qpe)")
+		marked  = flag.String("marked", "0", "grover: marked element (decimal or 0x hex)")
+		iters   = flag.Int("iterations", 0, "grover: iteration count (0 = optimal)")
+		rows    = flag.Int("rows", 4, "supremacy: grid rows")
+		cols    = flag.Int("cols", 4, "supremacy: grid cols")
+		depth   = flag.Int("depth", 12, "supremacy: CZ cycles")
+		seed    = flag.Int64("seed", 1, "supremacy: generator seed")
+		secret  = flag.String("secret", "0", "bv: secret mask (decimal or 0x hex)")
+		mask    = flag.String("mask", "1", "dj: balanced parity mask (0 = constant oracle)")
+		theta   = flag.Float64("theta", 0.25, "qpe: eigenphase θ of P(2πθ)")
+		modulus = flag.Uint64("modulus", 15, "shor-cu: modulus N")
+		base    = flag.Uint64("base", 7, "shor-cu: multiplier a")
+		format  = flag.String("format", "qc", "qc (native) | qasm")
+		out     = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	c, err := build(*algo, buildParams{
+		n: *n, marked: parseUint(*marked), iters: *iters,
+		rows: *rows, cols: *cols, depth: *depth, seed: *seed,
+		secret: parseUint(*secret), mask: parseUint(*mask), theta: *theta,
+		modulus: *modulus, base: *base,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "qc":
+		err = c.Write(w)
+	case "qasm":
+		err = qasm.Export(w, c)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+type buildParams struct {
+	n             int
+	marked        uint64
+	iters         int
+	rows, cols    int
+	depth         int
+	seed          int64
+	secret, mask  uint64
+	theta         float64
+	modulus, base uint64
+}
+
+func build(algo string, p buildParams) (*circuit.Circuit, error) {
+	switch algo {
+	case "grover":
+		return grover.Circuit(p.n, p.marked, p.iters), nil
+	case "supremacy":
+		return supremacy.Circuit(p.rows, p.cols, p.depth, p.seed), nil
+	case "qft":
+		return qft.Circuit(p.n, true), nil
+	case "bv":
+		return algos.BernsteinVazirani(p.n, p.secret), nil
+	case "dj":
+		if p.mask == 0 {
+			return algos.DeutschJozsa(p.n, false, 0, false), nil
+		}
+		return algos.DeutschJozsa(p.n, true, p.mask, false), nil
+	case "qpe":
+		return algos.PhaseEstimation(p.n, p.theta), nil
+	case "shor-cu":
+		c, _, err := shor.ControlledUaCircuit(p.modulus, p.base)
+		return c, err
+	case "":
+		return nil, fmt.Errorf("ddgen: -algo is required")
+	}
+	return nil, fmt.Errorf("ddgen: unknown algorithm %q", algo)
+}
+
+func parseUint(s string) uint64 {
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		fatal(fmt.Errorf("ddgen: bad number %q: %w", s, err))
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

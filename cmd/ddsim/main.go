@@ -1,0 +1,273 @@
+// Command ddsim simulates a quantum circuit with a selectable
+// operation-combination strategy and reports the resulting state,
+// samples, and simulation statistics. Both the native textual format
+// (see internal/circuit) and OpenQASM 2.0 are accepted; the format is
+// auto-detected.
+//
+// Usage:
+//
+//	ddsim -file circuit.qc -strategy max-size -smax 128 -shots 10
+//	ddsim -file bell.qasm -top 4
+//	ddsim -file - < circuit.qc       # read from stdin
+//
+// Strategies: sequential (default), k-operations (-k), max-size
+// (-smax), adaptive (-ratio), combine-all. -blocks additionally enables
+// the DD-repeating treatment of "repeat" blocks in the input. -dot
+// dumps the final state DD in Graphviz format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/cnum"
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/opt"
+	"repro/internal/qasm"
+)
+
+func main() {
+	var (
+		file      = flag.String("file", "", "circuit file ('-' for stdin)")
+		strategy  = flag.String("strategy", "sequential", "sequential | k-operations | max-size | combine-all")
+		k         = flag.Int("k", 4, "k for strategy k-operations")
+		smax      = flag.Int("smax", 128, "s_max for strategy max-size")
+		blocks    = flag.Bool("blocks", false, "exploit repeated blocks (DD-repeating)")
+		shots     = flag.Int("shots", 0, "measurement samples to draw from the final state")
+		seed      = flag.Int64("seed", 1, "random seed for sampling")
+		top       = flag.Int("top", 8, "print the N largest-probability amplitudes")
+		showTrace = flag.Bool("trace", false, "print per-step DD sizes")
+		ratio     = flag.Float64("ratio", 1, "op/state size ratio for strategy adaptive")
+		dotOut    = flag.String("dot", "", "write the final state DD in Graphviz DOT format to this file")
+		optimize  = flag.Bool("optimize", false, "run the peephole optimiser before simulating")
+	)
+	flag.Parse()
+
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "ddsim: -file is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	src, err := io.ReadAll(in)
+	if err != nil {
+		fatal(err)
+	}
+	text := string(src)
+
+	st, err := pickStrategy(*strategy, *k, *smax, *ratio)
+	if err != nil {
+		fatal(err)
+	}
+
+	// OpenQASM programs containing measurements, resets or classical
+	// control run as dynamic circuits: one execution per shot, classical
+	// histogram reported.
+	if isQASM(text) && hasDynamicOps(text) {
+		runDynamic(text, st, *shots, *seed)
+		return
+	}
+
+	c, err := parseAnyText(text)
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		optimised, ostats := opt.Optimize(c)
+		fmt.Printf("optimiser:      removed %d of %d gates\n", ostats.Removed(), c.GateCount())
+		c = optimised
+	}
+	res, err := core.Run(c, core.Options{Strategy: st, UseBlocks: *blocks, RecordTrace: *showTrace})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("circuit:        %s (%d qubits, %d gates, depth %d)\n",
+		name(c), c.NQubits, c.GateCount(), c.Depth())
+	fmt.Printf("strategy:       %s (blocks: %v)\n", st.Name(), *blocks)
+	fmt.Printf("runtime:        %v\n", res.Duration)
+	fmt.Printf("mat-vec steps:  %d\n", res.MatVecSteps)
+	fmt.Printf("mat-mat steps:  %d\n", res.MatMatSteps)
+	fmt.Printf("state DD size:  %d nodes\n", res.State.Size())
+	fmt.Printf("norm:           %.9f\n", res.State.Norm())
+
+	if *top > 0 && c.NQubits <= 24 {
+		printTopAmplitudes(res, c.NQubits, *top)
+	}
+	if *shots > 0 {
+		rng := rand.New(rand.NewSource(*seed))
+		fmt.Printf("samples (%d shots):\n", *shots)
+		counts := map[uint64]int{}
+		for i := 0; i < *shots; i++ {
+			counts[res.State.SampleAll(rng)]++
+		}
+		type kv struct {
+			idx uint64
+			n   int
+		}
+		var sorted []kv
+		for idx, n := range counts {
+			sorted = append(sorted, kv{idx, n})
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].n > sorted[j].n })
+		for _, e := range sorted {
+			fmt.Printf("  |%0*b>  %d\n", c.NQubits, e.idx, e.n)
+		}
+	}
+	if *showTrace {
+		fmt.Println("trace (gate index, op nodes, state nodes):")
+		for _, tp := range res.Trace {
+			fmt.Printf("  %6d %8d %8d\n", tp.GateIndex, tp.OpSize, tp.StateSize)
+		}
+		fmt.Println("final per-level profile:", dd.LevelProfile(res.State.NodesByLevel()))
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dd.DotV(f, res.State, name(c)); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("state DD written to %s\n", *dotOut)
+	}
+}
+
+// parseAnyText auto-detects OpenQASM vs the native format.
+func parseAnyText(text string) (*circuit.Circuit, error) {
+	if isQASM(text) {
+		prog, err := qasm.ParseString(text)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Circuit, nil
+	}
+	return circuit.ParseString(text)
+}
+
+func isQASM(text string) bool {
+	return strings.Contains(text, "OPENQASM") || strings.Contains(text, "qreg")
+}
+
+func hasDynamicOps(text string) bool {
+	for _, kw := range []string{"measure", "reset", "if"} {
+		for _, line := range strings.Split(text, "\n") {
+			line = strings.TrimSpace(line)
+			if strings.HasPrefix(line, kw) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// runDynamic executes a dynamic OpenQASM program shot by shot.
+func runDynamic(text string, st core.Strategy, shots int, seed int64) {
+	prog, err := qasm.ParseDynamicString(text)
+	if err != nil {
+		fatal(err)
+	}
+	if shots <= 0 {
+		shots = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := map[uint64]int{}
+	for i := 0; i < shots; i++ {
+		res, err := prog.Run(core.Options{Strategy: st}, rng)
+		if err != nil {
+			fatal(err)
+		}
+		counts[res.Classical]++
+	}
+	fmt.Printf("dynamic program: %d qubits, %d classical bits, %d ops\n",
+		prog.NQubits, prog.NClbits, len(prog.Ops))
+	fmt.Printf("strategy:        %s, %d shot(s)\n", st.Name(), shots)
+	type kv struct {
+		bits uint64
+		n    int
+	}
+	var sorted []kv
+	for b, n := range counts {
+		sorted = append(sorted, kv{b, n})
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].n > sorted[j].n })
+	fmt.Println("classical outcomes:")
+	for _, e := range sorted {
+		fmt.Printf("  %0*b  %d\n", prog.NClbits, e.bits, e.n)
+	}
+}
+
+func name(c *circuit.Circuit) string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return "(unnamed)"
+}
+
+func pickStrategy(s string, k, smax int, ratio float64) (core.Strategy, error) {
+	switch s {
+	case "sequential":
+		return core.Sequential{}, nil
+	case "k-operations":
+		if k < 1 {
+			return nil, fmt.Errorf("ddsim: -k must be positive, got %d", k)
+		}
+		return core.KOperations{K: k}, nil
+	case "max-size":
+		if smax < 1 {
+			return nil, fmt.Errorf("ddsim: -smax must be positive, got %d", smax)
+		}
+		return core.MaxSize{SMax: smax}, nil
+	case "adaptive":
+		return core.Adaptive{Ratio: ratio}, nil
+	case "combine-all":
+		return core.CombineAll{}, nil
+	}
+	return nil, fmt.Errorf("ddsim: unknown strategy %q", s)
+}
+
+func printTopAmplitudes(res *core.Result, n, top int) {
+	amps := res.State.ToVector()
+	type entry struct {
+		idx uint64
+		p   float64
+		a   complex128
+	}
+	var es []entry
+	for i, a := range amps {
+		if p := cnum.Abs2(a); p > 1e-12 {
+			es = append(es, entry{uint64(i), p, a})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].p > es[j].p })
+	if len(es) > top {
+		es = es[:top]
+	}
+	fmt.Printf("top %d amplitudes:\n", len(es))
+	for _, e := range es {
+		fmt.Printf("  |%0*b>  p=%.6f  amp=%.6f%+.6fi\n", n, e.idx, e.p, real(e.a), imag(e.a))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddsim:", err)
+	os.Exit(1)
+}

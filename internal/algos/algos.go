@@ -1,0 +1,115 @@
+// Package algos provides additional textbook quantum algorithms —
+// Bernstein–Vazirani, Deutsch–Jozsa and quantum phase estimation —
+// used as extra workloads for the simulator and as end-to-end sanity
+// checks: all three have classically known outcomes the tests verify.
+// They are also classic decision-diagram-friendly benchmarks: their
+// states stay highly structured, so DD sizes remain small even for
+// large registers.
+package algos
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/qft"
+)
+
+// BernsteinVazirani returns the circuit recovering the secret bit mask
+// s from one query to the parity oracle f(x) = s·x (mod 2). The
+// register layout is qubits [0, n) for the input and qubit n for the
+// phase ancilla; measuring the input register yields s with certainty.
+func BernsteinVazirani(n int, secret uint64) *circuit.Circuit {
+	if n < 1 || n > 62 {
+		panic(fmt.Sprintf("algos: BernsteinVazirani: bad register size %d", n))
+	}
+	if secret >= 1<<uint(n) {
+		panic(fmt.Sprintf("algos: BernsteinVazirani: secret %d out of range", secret))
+	}
+	c := circuit.New(n + 1)
+	c.Name = fmt.Sprintf("bv_%d", n)
+	anc := n
+	c.X(anc)
+	c.H(anc)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for q := 0; q < n; q++ {
+		if secret>>uint(q)&1 == 1 {
+			c.CX(q, anc)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// DeutschJozsa returns the circuit distinguishing a constant from a
+// balanced oracle with one query. When balanced is true the oracle is
+// the parity over mask (which must be non-zero); otherwise it is the
+// constant function (constOne selects f ≡ 1). Measuring the input
+// register yields all zeros iff the function is constant.
+func DeutschJozsa(n int, balanced bool, mask uint64, constOne bool) *circuit.Circuit {
+	if n < 1 || n > 62 {
+		panic(fmt.Sprintf("algos: DeutschJozsa: bad register size %d", n))
+	}
+	if balanced && (mask == 0 || mask >= 1<<uint(n)) {
+		panic(fmt.Sprintf("algos: DeutschJozsa: balanced oracle needs mask in (0, 2^n), got %d", mask))
+	}
+	c := circuit.New(n + 1)
+	c.Name = fmt.Sprintf("dj_%d", n)
+	anc := n
+	c.X(anc)
+	c.H(anc)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	switch {
+	case balanced:
+		for q := 0; q < n; q++ {
+			if mask>>uint(q)&1 == 1 {
+				c.CX(q, anc)
+			}
+		}
+	case constOne:
+		c.X(anc)
+	}
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// PhaseEstimation returns the textbook quantum-phase-estimation
+// circuit measuring the eigenphase θ of the single-qubit phase gate
+// P(2πθ) on its |1> eigenvector, with t counting qubits. Layout:
+// qubits [0, t) form the counting register, qubit t the eigenvector.
+// The counting register ends in the best t-bit approximation of θ
+// (exactly, when θ = y/2^t). The t controlled power stages are the
+// same structure Shor's algorithm uses around its oracle.
+func PhaseEstimation(t int, theta float64) *circuit.Circuit {
+	if t < 1 || t > 30 {
+		panic(fmt.Sprintf("algos: PhaseEstimation: bad counting register size %d", t))
+	}
+	c := circuit.New(t + 1)
+	c.Name = fmt.Sprintf("qpe_%d", t)
+	eigen := t
+	c.X(eigen) // prepare the |1> eigenvector
+	for q := 0; q < t; q++ {
+		c.H(q)
+	}
+	for q := 0; q < t; q++ {
+		// Counting qubit q controls U^{2^q}: the phase gate with angle
+		// 2πθ·2^q.
+		angle := 2 * math.Pi * theta * float64(uint64(1)<<uint(q))
+		c.CP(angle, q, eigen)
+	}
+	// Inverse QFT on the counting register (most significant first).
+	counting := make([]int, t)
+	for i := range counting {
+		counting[i] = t - 1 - i
+	}
+	qft.AppendInverse(c, counting, true)
+	return c
+}

@@ -1,0 +1,158 @@
+package algos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// measureInputRegister returns the probability distribution over the
+// first n qubits (marginalising the ancilla).
+func inputProbs(t *testing.T, res *core.Result, n int) []float64 {
+	t.Helper()
+	probs := res.State.Probabilities()
+	out := make([]float64, 1<<uint(n))
+	mask := uint64(1)<<uint(n) - 1
+	for i, p := range probs {
+		out[uint64(i)&mask] += p
+	}
+	return out
+}
+
+func TestBernsteinVaziraniRecoversSecret(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{3, 7, 12} {
+		secret := uint64(rng.Intn(1 << uint(n)))
+		c := BernsteinVazirani(n, secret)
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(c, core.Options{Strategy: core.KOperations{K: 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs := inputProbs(t, res, n)
+		if math.Abs(probs[secret]-1) > 1e-9 {
+			t.Fatalf("n=%d secret=%b: P = %v", n, secret, probs[secret])
+		}
+	}
+}
+
+func TestBernsteinVaziraniStaysCompact(t *testing.T) {
+	// BV states are tensor products throughout: the DD must stay O(n)
+	// even for large registers — far beyond dense simulation reach is
+	// trivial here.
+	n := 40
+	c := BernsteinVazirani(n, 0x5555555555&(1<<uint(n)-1))
+	res, err := core.Run(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.State.Size(); s > n+1 {
+		t.Fatalf("BV state DD has %d nodes, want <= %d", s, n+1)
+	}
+}
+
+func TestBernsteinVaziraniPanics(t *testing.T) {
+	mustPanic(t, func() { BernsteinVazirani(0, 0) })
+	mustPanic(t, func() { BernsteinVazirani(3, 8) })
+}
+
+func TestDeutschJozsaConstant(t *testing.T) {
+	for _, constOne := range []bool{false, true} {
+		c := DeutschJozsa(5, false, 0, constOne)
+		res, err := core.Run(c, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs := inputProbs(t, res, 5)
+		if math.Abs(probs[0]-1) > 1e-9 {
+			t.Fatalf("constant oracle (one=%v): P(0…0) = %v, want 1", constOne, probs[0])
+		}
+	}
+}
+
+func TestDeutschJozsaBalanced(t *testing.T) {
+	c := DeutschJozsa(5, true, 0b10110, false)
+	res, err := core.Run(c, core.Options{Strategy: core.MaxSize{SMax: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := inputProbs(t, res, 5)
+	if probs[0] > 1e-9 {
+		t.Fatalf("balanced oracle: P(0…0) = %v, want 0", probs[0])
+	}
+	// For a parity oracle the measurement is deterministic: the mask.
+	if math.Abs(probs[0b10110]-1) > 1e-9 {
+		t.Fatalf("balanced parity oracle: P(mask) = %v", probs[0b10110])
+	}
+}
+
+func TestDeutschJozsaPanics(t *testing.T) {
+	mustPanic(t, func() { DeutschJozsa(3, true, 0, false) })
+	mustPanic(t, func() { DeutschJozsa(3, true, 8, false) })
+}
+
+func TestPhaseEstimationExact(t *testing.T) {
+	for _, tc := range []struct {
+		t int
+		y uint64 // θ = y / 2^t
+	}{
+		{4, 3}, {5, 11}, {6, 1}, {6, 63},
+	} {
+		theta := float64(tc.y) / float64(uint64(1)<<uint(tc.t))
+		c := PhaseEstimation(tc.t, theta)
+		res, err := core.Run(c, core.Options{Strategy: core.KOperations{K: 8}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs := inputProbs(t, res, tc.t)
+		if math.Abs(probs[tc.y]-1) > 1e-7 {
+			t.Fatalf("t=%d θ=%v: P(y=%d) = %v, want 1", tc.t, theta, tc.y, probs[tc.y])
+		}
+	}
+}
+
+func TestPhaseEstimationApproximate(t *testing.T) {
+	// An inexact θ concentrates near the best t-bit approximations:
+	// the top outcome must be within 1/2^t of θ and carry the known
+	// lower bound 4/π² of the probability mass.
+	tq := 6
+	theta := 0.3217
+	c := PhaseEstimation(tq, theta)
+	res, err := core.Run(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := inputProbs(t, res, tq)
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	gotTheta := float64(best) / float64(uint64(1)<<uint(tq))
+	if math.Abs(gotTheta-theta) > 1.0/float64(uint64(1)<<uint(tq)) {
+		t.Fatalf("best estimate %v too far from θ=%v", gotTheta, theta)
+	}
+	if probs[best] < 4/(math.Pi*math.Pi) {
+		t.Fatalf("peak probability %v below the 4/π² bound", probs[best])
+	}
+}
+
+func TestPhaseEstimationPanics(t *testing.T) {
+	mustPanic(t, func() { PhaseEstimation(0, 0.5) })
+	mustPanic(t, func() { PhaseEstimation(40, 0.5) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,166 @@
+// Package bench defines the benchmark workloads and the experiment
+// harness that regenerates every table and figure of the paper's
+// evaluation (Figs. 8 and 9, Tables I and II, plus the Fig. 5 size
+// trace). Absolute times differ from the paper's machine; the harness
+// reports the same quantities (speed-ups over the sequential baseline,
+// per-strategy runtimes) so the shapes can be compared directly.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grover"
+	"repro/internal/hamiltonian"
+	"repro/internal/shor"
+	"repro/internal/supremacy"
+)
+
+// Workload is one deterministic benchmark instance: Run simulates it
+// once under the given options (a fresh engine per run unless the
+// options carry one).
+type Workload struct {
+	Name string
+	Run  func(opt core.Options) error
+}
+
+// Config scales the experiment suite.
+type Config struct {
+	// Reps is the number of timing repetitions; the minimum is reported.
+	Reps int
+	// Budget caps a single simulation run; runs exceeding it are
+	// reported as timeouts (the paper's ">7200s" rows).
+	Budget time.Duration
+	// Full selects the larger instances (several minutes of total
+	// runtime instead of tens of seconds).
+	Full bool
+}
+
+// DefaultConfig returns the quick configuration used by cmd/ddbench.
+func DefaultConfig() Config {
+	return Config{Reps: 1, Budget: 30 * time.Second}
+}
+
+func (c Config) reps() int {
+	if c.Reps < 1 {
+		return 1
+	}
+	return c.Reps
+}
+
+// GroverWorkload returns the grover_<n> benchmark (marked element fixed
+// per size for determinism).
+func GroverWorkload(n int) Workload {
+	marked := uint64(0x5a5a5a5a5a5a5a5a) & ((1 << uint(n)) - 1)
+	c := grover.Circuit(n, marked, 0)
+	return Workload{
+		Name: fmt.Sprintf("grover_%d", n),
+		Run: func(opt core.Options) error {
+			_, err := core.Run(c, opt)
+			return err
+		},
+	}
+}
+
+// ShorWorkload returns the gate-level shor_<N>_<a> benchmark
+// (Beauregard circuit, 2n+3 qubits, fixed measurement seed).
+func ShorWorkload(modN, a uint64) Workload {
+	return Workload{
+		Name: fmt.Sprintf("shor_%d_%d", modN, a),
+		Run: func(opt core.Options) error {
+			_, err := shor.SimulateGateLevel(modN, a, opt, rand.New(rand.NewSource(1)))
+			return err
+		},
+	}
+}
+
+// SupremacyWorkload returns the supremacy_<depth>_<qubits> benchmark.
+func SupremacyWorkload(rows, cols, depth int, seed int64) Workload {
+	c := supremacy.Circuit(rows, cols, depth, seed)
+	return Workload{
+		Name: c.Name,
+		Run: func(opt core.Options) error {
+			_, err := core.Run(c, opt)
+			return err
+		},
+	}
+}
+
+// FigWorkloads is the benchmark mix used for the Fig. 8 / Fig. 9
+// parameter sweeps — all three families of the paper.
+func FigWorkloads(full bool) []Workload {
+	ws := []Workload{
+		GroverWorkload(14),
+		GroverWorkload(16),
+		ShorWorkload(15, 7),
+		ShorWorkload(21, 2),
+		SupremacyWorkload(4, 4, 12, 7),
+		SupremacyWorkload(4, 4, 16, 7),
+	}
+	if full {
+		ws = append(ws,
+			GroverWorkload(18),
+			ShorWorkload(33, 5),
+			ShorWorkload(55, 6),
+			SupremacyWorkload(4, 5, 14, 7),
+			TFIMWorkload(14, 2, 24),
+		)
+	}
+	return ws
+}
+
+// Measurement is one timed run.
+type Measurement struct {
+	Seconds  float64
+	TimedOut bool
+	Err      error
+}
+
+// Time runs w under opt, repeating cfg.Reps times and keeping the
+// fastest run. A run that exceeds cfg.Budget reports a timeout.
+func Time(w Workload, opt core.Options, cfg Config) Measurement {
+	best := math.Inf(1)
+	for i := 0; i < cfg.reps(); i++ {
+		if cfg.Budget > 0 {
+			opt.Deadline = time.Now().Add(cfg.Budget)
+		}
+		start := time.Now()
+		err := w.Run(opt)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			if isDeadline(err) {
+				return Measurement{Seconds: cfg.Budget.Seconds(), TimedOut: true}
+			}
+			return Measurement{Err: err}
+		}
+		if elapsed < best {
+			best = elapsed
+		}
+	}
+	return Measurement{Seconds: best}
+}
+
+func isDeadline(err error) bool {
+	return errors.Is(err, core.ErrDeadlineExceeded)
+}
+
+// TFIMWorkload returns a Trotterized transverse-field Ising evolution
+// benchmark (tfim_<sites>_t<t>_s<steps>).
+func TFIMWorkload(sites int, t float64, steps int) Workload {
+	m := hamiltonian.TFIM{Sites: sites, J: 1, H: 0.9}
+	c, err := m.TrotterCircuit(t, steps)
+	if err != nil {
+		panic(err) // static parameters; misuse is a programming error
+	}
+	return Workload{
+		Name: c.Name,
+		Run: func(opt core.Options) error {
+			_, err := core.Run(c, opt)
+			return err
+		},
+	}
+}

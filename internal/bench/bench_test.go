@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grover"
+)
+
+// tinyWorkloads keeps experiment tests fast.
+func tinyWorkloads() []Workload {
+	return []Workload{
+		GroverWorkload(6),
+		SupremacyWorkload(2, 3, 8, 3),
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	if GroverWorkload(12).Name != "grover_12" {
+		t.Error("grover workload name")
+	}
+	if ShorWorkload(15, 7).Name != "shor_15_7" {
+		t.Error("shor workload name")
+	}
+	if SupremacyWorkload(4, 4, 12, 7).Name != "supremacy_12_16" {
+		t.Error("supremacy workload name")
+	}
+}
+
+func TestTimeMeasures(t *testing.T) {
+	cfg := Config{Reps: 2, Budget: time.Minute}
+	m := Time(GroverWorkload(6), core.Options{Strategy: core.Sequential{}}, cfg)
+	if m.Err != nil {
+		t.Fatal(m.Err)
+	}
+	if m.TimedOut || m.Seconds <= 0 {
+		t.Fatalf("measurement %+v", m)
+	}
+}
+
+func TestTimeTimesOut(t *testing.T) {
+	cfg := Config{Reps: 1, Budget: time.Nanosecond}
+	m := Time(GroverWorkload(10), core.Options{Strategy: core.Sequential{}}, cfg)
+	if m.Err != nil {
+		t.Fatal(m.Err)
+	}
+	if !m.TimedOut {
+		t.Fatal("expected timeout")
+	}
+}
+
+func TestTimePropagatesErrors(t *testing.T) {
+	w := Workload{Name: "boom", Run: func(core.Options) error { return errors.New("boom") }}
+	m := Time(w, core.Options{}, Config{Reps: 1})
+	if m.Err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	cfg := Config{Reps: 1, Budget: time.Minute}
+	params := []int{1, 2, 4}
+	res, err := sweep(cfg, "test sweep", "k", params,
+		func(p int) core.Strategy { return core.KOperations{K: p} }, tinyWorkloads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 2 || len(res.Params) != 3 {
+		t.Fatalf("shape %v %v", res.Names, res.Params)
+	}
+	for wi := range res.Names {
+		if len(res.Speedups[wi]) != len(params) {
+			t.Fatalf("row %d has %d entries", wi, len(res.Speedups[wi]))
+		}
+		for _, v := range res.Speedups[wi] {
+			if math.IsNaN(v) || v <= 0 {
+				t.Fatalf("invalid speed-up %v", v)
+			}
+		}
+	}
+	for _, v := range res.Average {
+		if math.IsNaN(v) || v <= 0 {
+			t.Fatalf("invalid average %v", v)
+		}
+	}
+	// k=1 is the sequential scheme re-run: speed-up should be near 1.
+	if res.Average[0] < 0.2 || res.Average[0] > 5 {
+		t.Fatalf("k=1 average speed-up %v wildly off 1.0", res.Average[0])
+	}
+	out := RenderSweep(res)
+	for _, want := range []string{"test sweep", "grover_6", "average", "1.0x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered sweep missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	res, err := Fig5(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seq) == 0 || len(res.Combined) == 0 {
+		t.Fatal("empty traces")
+	}
+	if len(res.Combined) >= len(res.Seq) {
+		t.Fatalf("combining should reduce the number of applications: %d vs %d",
+			len(res.Combined), len(res.Seq))
+	}
+	if res.SeqRecursions == 0 || res.CombinedRecursions == 0 {
+		t.Fatal("missing work counters")
+	}
+	out := RenderFig5(res)
+	if !strings.Contains(out, "state nodes") || !strings.Contains(out, "recursions") {
+		t.Fatalf("rendered Fig.5 incomplete:\n%s", out)
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	rows := []Table1Row{
+		{Name: "grover_14", TSota: 1.5, TGeneral: 0.5, GeneralName: "k-operations(k=8)", TRepeating: 0.25},
+	}
+	out := RenderTable1(rows)
+	for _, want := range []string{"grover_14", "1.50", "0.500", "0.250", "k-operations(k=8)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTable2Timeouts(t *testing.T) {
+	rows := []Table2Row{
+		{Name: "shor_1007_602", QubitsGate: 23, QubitsConstruct: 11,
+			TSota: 30, SotaTimeout: true, TGeneral: 30, GeneralTimeout: true, TConstruct: 0.02},
+	}
+	out := RenderTable2(rows, 30)
+	if !strings.Contains(out, ">30.00") {
+		t.Fatalf("timeout rows not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "0.02") {
+		t.Fatalf("construct time missing:\n%s", out)
+	}
+}
+
+func TestTable2InstancesValid(t *testing.T) {
+	for _, inst := range Table2Instances(true) {
+		if inst.N%2 == 0 {
+			t.Errorf("instance N=%d is even", inst.N)
+		}
+		if gcd(inst.A, inst.N) != 1 {
+			t.Errorf("instance a=%d not coprime to N=%d", inst.A, inst.N)
+		}
+		// Must be composite (otherwise there is nothing to factor).
+		prime := true
+		for d := uint64(2); d*d <= inst.N; d++ {
+			if inst.N%d == 0 {
+				prime = false
+				break
+			}
+		}
+		if prime {
+			t.Errorf("instance N=%d is prime", inst.N)
+		}
+	}
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func TestFigWorkloadsCoverAllFamilies(t *testing.T) {
+	for _, full := range []bool{false, true} {
+		families := map[string]bool{}
+		for _, w := range FigWorkloads(full) {
+			switch {
+			case strings.HasPrefix(w.Name, "grover"):
+				families["grover"] = true
+			case strings.HasPrefix(w.Name, "shor"):
+				families["shor"] = true
+			case strings.HasPrefix(w.Name, "supremacy"):
+				families["supremacy"] = true
+			}
+		}
+		if len(families) != 3 {
+			t.Fatalf("full=%v: families %v", full, families)
+		}
+	}
+}
+
+func TestGroverWorkloadMatchesGenerator(t *testing.T) {
+	// The workload must actually be a Grover circuit of the stated size.
+	w := GroverWorkload(8)
+	res := make(chan error, 1)
+	res <- w.Run(core.Options{Strategy: core.Sequential{}})
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+	_ = grover.Iterations(8)
+}
+
+func TestAdaptiveSweepSmall(t *testing.T) {
+	cfg := Config{Reps: 1, Budget: time.Minute}
+	res, err := sweep(cfg, "adaptive", "r", []int{50, 100},
+		func(p int) core.Strategy { return core.Adaptive{Ratio: float64(p) / 100} }, tinyWorkloads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Speedups {
+		for _, v := range row {
+			if v <= 0 || math.IsNaN(v) {
+				t.Fatalf("invalid speed-up %v", v)
+			}
+		}
+	}
+}
+
+func TestTable1SmallInstance(t *testing.T) {
+	cfg := Config{Reps: 1, Budget: time.Minute}
+	rows, err := Table1(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Name != "grover_8" {
+		t.Fatalf("rows %+v", rows)
+	}
+	r := rows[0]
+	if r.TSota <= 0 || r.TGeneral <= 0 || r.TRepeating <= 0 {
+		t.Fatalf("non-positive timings: %+v", r)
+	}
+	if r.GeneralName == "" {
+		t.Fatal("best general strategy not recorded")
+	}
+	// No relative-speed assertion here: grover_8 runs in milliseconds
+	// and scheduler jitter dominates; the speed claims are validated on
+	// the real instance sizes by cmd/ddbench (see EXPERIMENTS.md).
+}
+
+func TestTable2SmallInstance(t *testing.T) {
+	cfg := Config{Reps: 1, Budget: time.Minute}
+	rows, err := Table2(cfg, ShorInstance{N: 15, A: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows %+v", rows)
+	}
+	r := rows[0]
+	if r.QubitsGate != 11 || r.QubitsConstruct != 5 {
+		t.Fatalf("qubit columns wrong: %+v", r)
+	}
+	if r.SotaTimeout || r.GeneralTimeout {
+		t.Fatalf("unexpected timeout: %+v", r)
+	}
+	if r.TConstruct <= 0 || r.TConstruct > r.TSota {
+		t.Fatalf("DD-construct should beat the gate level: %+v", r)
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	r := &SweepResult{
+		Param:    "k",
+		Params:   []int{2, 4},
+		Names:    []string{"grover_6", "shor,weird"},
+		Baseline: []float64{0.5, 1.25},
+		Speedups: [][]float64{{1.5, math.NaN()}, {0.9, 2}},
+		Average:  []float64{1.2, 2},
+	}
+	csv := r.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines %d:\n%s", len(lines), csv)
+	}
+	if lines[0] != `k,grover_6,"shor,weird",average` {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "2,1.5,0.9,") {
+		t.Fatalf("row %q", lines[2])
+	}
+	// Timeout cell is empty.
+	if lines[3] != "4,,2,2" {
+		t.Fatalf("timeout row %q", lines[3])
+	}
+}
+
+func TestTableCSVs(t *testing.T) {
+	t1 := Table1CSV([]Table1Row{{Name: "grover_12", TSota: 1, TGeneral: 0.5, TRepeating: 0.1, GeneralName: "k-operations(k=4)"}})
+	if !strings.Contains(t1, "grover_12,1,0.5,0.1,k-operations(k=4)") {
+		t.Fatalf("table1 csv:\n%s", t1)
+	}
+	t2 := Table2CSV([]Table2Row{{
+		Name: "shor_1007_602", QubitsGate: 23, QubitsConstruct: 11,
+		SotaTimeout: true, GeneralTimeout: true, TConstruct: 0.2,
+	}}, 90)
+	if !strings.Contains(t2, "shor_1007_602,23,>90,>90,0.2,11,") {
+		t.Fatalf("table2 csv:\n%s", t2)
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	r := &TraceResult{
+		Seq:      []core.TracePoint{{GateIndex: 1, OpSize: 2, StateSize: 3, Combined: 1}},
+		Combined: []core.TracePoint{{GateIndex: 4, OpSize: 5, StateSize: 6, Combined: 4}},
+	}
+	csv := TraceCSV(r)
+	if !strings.Contains(csv, "sequential,1,2,3,1") || !strings.Contains(csv, "combined,4,5,6,4") {
+		t.Fatalf("trace csv:\n%s", csv)
+	}
+}

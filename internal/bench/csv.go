@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// CSV renders a sweep as comma-separated values (one row per parameter;
+// empty cells mark timeouts) — the raw data behind the paper's figures,
+// ready for external plotting.
+func (r *SweepResult) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(csvEscape(r.Param))
+	for _, name := range r.Names {
+		sb.WriteByte(',')
+		sb.WriteString(csvEscape(name))
+	}
+	sb.WriteString(",average\n")
+
+	sb.WriteString("baseline_seconds")
+	for _, b := range r.Baseline {
+		sb.WriteByte(',')
+		sb.WriteString(csvFloat(b))
+	}
+	sb.WriteString(",\n")
+
+	for pi, p := range r.Params {
+		fmt.Fprintf(&sb, "%d", p)
+		for wi := range r.Names {
+			sb.WriteByte(',')
+			sb.WriteString(csvFloat(r.Speedups[wi][pi]))
+		}
+		sb.WriteByte(',')
+		sb.WriteString(csvFloat(r.Average[pi]))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Table1CSV renders Table I rows as CSV.
+func Table1CSV(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("benchmark,t_sota,t_general,t_dd_repeating,best_general\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s,%s,%s,%s,%s\n",
+			csvEscape(r.Name), csvFloat(r.TSota), csvFloat(r.TGeneral),
+			csvFloat(r.TRepeating), csvEscape(r.GeneralName))
+	}
+	return sb.String()
+}
+
+// Table2CSV renders Table II rows as CSV; timed-out cells carry the
+// budget prefixed with ">".
+func Table2CSV(rows []Table2Row, budget float64) string {
+	var sb strings.Builder
+	sb.WriteString("benchmark,qubits_gate,t_sota,t_general,t_dd_construct,qubits_construct,best_general\n")
+	for _, r := range rows {
+		sota := csvFloat(r.TSota)
+		if r.SotaTimeout {
+			sota = fmt.Sprintf(">%g", budget)
+		}
+		general := csvFloat(r.TGeneral)
+		name := r.GeneralName
+		if r.GeneralTimeout {
+			general = fmt.Sprintf(">%g", budget)
+			name = ""
+		}
+		fmt.Fprintf(&sb, "%s,%d,%s,%s,%s,%d,%s\n",
+			csvEscape(r.Name), r.QubitsGate, sota, general,
+			csvFloat(r.TConstruct), r.QubitsConstruct, csvEscape(name))
+	}
+	return sb.String()
+}
+
+// TraceCSV renders the Fig. 5 size traces as CSV (long format: one row
+// per applied operation with its scheme).
+func TraceCSV(r *TraceResult) string {
+	var sb strings.Builder
+	sb.WriteString("scheme,gate_index,op_nodes,state_nodes,combined\n")
+	for _, tp := range r.Seq {
+		fmt.Fprintf(&sb, "sequential,%d,%d,%d,%d\n", tp.GateIndex, tp.OpSize, tp.StateSize, tp.Combined)
+	}
+	for _, tp := range r.Combined {
+		fmt.Fprintf(&sb, "combined,%d,%d,%d,%d\n", tp.GateIndex, tp.OpSize, tp.StateSize, tp.Combined)
+	}
+	return sb.String()
+}
+
+func csvFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return ""
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// RenderSweep renders a Fig. 8/9 sweep as a text table followed by an
+// ASCII plot of the average line.
+func RenderSweep(r *SweepResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", r.Title)
+	fmt.Fprintf(&sb, "(speed-up = t_sequential / t_strategy; baseline seconds in brackets)\n\n")
+
+	fmt.Fprintf(&sb, "%-22s", r.Param)
+	for _, name := range r.Names {
+		fmt.Fprintf(&sb, "%*s", colWidth(name), name)
+	}
+	fmt.Fprintf(&sb, "%12s\n", "average")
+
+	fmt.Fprintf(&sb, "%-22s", "(baseline)")
+	for i, name := range r.Names {
+		fmt.Fprintf(&sb, "%*s", colWidth(name), fmt.Sprintf("[%ss]", fmtSec(r.Baseline[i])))
+	}
+	sb.WriteString("\n")
+
+	for pi, p := range r.Params {
+		fmt.Fprintf(&sb, "%-22d", p)
+		for wi, name := range r.Names {
+			fmt.Fprintf(&sb, "%*s", colWidth(name), fmtSpeedup(r.Speedups[wi][pi]))
+		}
+		fmt.Fprintf(&sb, "%12s\n", fmtSpeedup(r.Average[pi]))
+	}
+	sb.WriteString("\n")
+	sb.WriteString(renderAverageChart(r))
+	return sb.String()
+}
+
+func colWidth(name string) int {
+	w := len(name) + 2
+	if w < 12 {
+		w = 12
+	}
+	return w
+}
+
+func fmtSec(s float64) string {
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return "timeout"
+	}
+	switch {
+	case s < 0.01:
+		return fmt.Sprintf("%.4f", s)
+	case s < 1:
+		return fmt.Sprintf("%.3f", s)
+	default:
+		return fmt.Sprintf("%.2f", s)
+	}
+}
+
+func fmtSpeedup(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", v)
+}
+
+// renderAverageChart draws the average speed-up per parameter as a bar
+// chart, the textual analogue of the paper's figure.
+func renderAverageChart(r *SweepResult) string {
+	var sb strings.Builder
+	maxAvg := 1.0
+	for _, v := range r.Average {
+		if !math.IsNaN(v) && v > maxAvg {
+			maxAvg = v
+		}
+	}
+	const width = 48
+	fmt.Fprintf(&sb, "average speed-up over %s (| marks 1.0x):\n", r.Param)
+	onePos := int(float64(width) / maxAvg)
+	for pi, p := range r.Params {
+		v := r.Average[pi]
+		if math.IsNaN(v) {
+			fmt.Fprintf(&sb, "%8d  (timeout)\n", p)
+			continue
+		}
+		bars := int(v / maxAvg * float64(width))
+		line := make([]byte, width+1)
+		for i := range line {
+			switch {
+			case i < bars:
+				line[i] = '#'
+			case i == onePos:
+				line[i] = '|'
+			default:
+				line[i] = ' '
+			}
+		}
+		fmt.Fprintf(&sb, "%8d  %s %.2fx\n", p, string(line), v)
+	}
+	return sb.String()
+}
+
+// RenderTable1 renders Table I.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table I: results for grover benchmarks (strategy DD-repeating)\n")
+	sb.WriteString("all times in seconds\n\n")
+	fmt.Fprintf(&sb, "%-14s %12s %12s %14s   %s\n", "Benchmark", "t_sota", "t_general", "t_DD-repeat", "(best general)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %12s %12s %14s   %s\n",
+			r.Name, fmtSec(r.TSota), fmtSec(r.TGeneral), fmtSec(r.TRepeating), r.GeneralName)
+	}
+	return sb.String()
+}
+
+// RenderTable2 renders Table II.
+func RenderTable2(rows []Table2Row, budget float64) string {
+	var sb strings.Builder
+	sb.WriteString("Table II: results for shor benchmarks (strategy DD-construct)\n")
+	sb.WriteString("all times in seconds; gate-level columns use the Beauregard 2n+3-qubit circuit,\n")
+	sb.WriteString("DD-construct builds the oracle directly on n+1 qubits\n\n")
+	fmt.Fprintf(&sb, "%-16s %7s %12s %12s %15s %8s   %s\n",
+		"Benchmark", "qubits", "t_sota", "t_general", "t_DD-construct", "qubits'", "(best general)")
+	for _, r := range rows {
+		sota := fmtSec(r.TSota)
+		if r.SotaTimeout {
+			sota = fmt.Sprintf(">%s", fmtSec(budget))
+		}
+		general := fmtSec(r.TGeneral)
+		name := r.GeneralName
+		if r.GeneralTimeout {
+			general = fmt.Sprintf(">%s", fmtSec(budget))
+			name = ""
+		}
+		fmt.Fprintf(&sb, "%-16s %7d %12s %12s %15s %8d   %s\n",
+			r.Name, r.QubitsGate, sota, general, fmtSec(r.TConstruct), r.QubitsConstruct, name)
+	}
+	return sb.String()
+}
+
+// RenderFig5 renders the size-trace comparison.
+func RenderFig5(r *TraceResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 5 / Example 3: DD sizes along Eq. 1 vs. combining operations (%s)\n\n", r.Workload)
+	fmt.Fprintf(&sb, "sequential (Eq. 1): one matrix-vector multiplication per gate\n")
+	fmt.Fprintf(&sb, "%-10s %10s %12s\n", "gate", "op nodes", "state nodes")
+	for _, tp := range sampleTrace(r.Seq, 20) {
+		fmt.Fprintf(&sb, "%-10d %10d %12d\n", tp.GateIndex, tp.OpSize, tp.StateSize)
+	}
+	fmt.Fprintf(&sb, "\ncombined (k-operations, k=4): gates multiplied together first\n")
+	fmt.Fprintf(&sb, "%-10s %10s %12s\n", "gate", "op nodes", "state nodes")
+	for _, tp := range sampleTrace(r.Combined, 20) {
+		fmt.Fprintf(&sb, "%-10d %10d %12d\n", tp.GateIndex, tp.OpSize, tp.StateSize)
+	}
+	fmt.Fprintf(&sb, "\ntotal multiplication/addition recursions (work metric):\n")
+	fmt.Fprintf(&sb, "  sequential: %d\n  combined:   %d  (%.2fx less work)\n",
+		r.SeqRecursions, r.CombinedRecursions,
+		float64(r.SeqRecursions)/float64(r.CombinedRecursions))
+	return sb.String()
+}
+
+// sampleTrace thins a trace to at most n evenly spaced points.
+func sampleTrace(tr []core.TracePoint, n int) []core.TracePoint {
+	if len(tr) <= n {
+		return tr
+	}
+	out := make([]core.TracePoint, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, tr[i*len(tr)/n])
+	}
+	return out
+}

@@ -1,0 +1,385 @@
+// Package circuit provides the intermediate representation of quantum
+// circuits: a flat gate sequence over n qubits, optional repeated-block
+// annotations (exploited by the DD-repeating strategy), a builder API,
+// and a textual format (see parser.go).
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dd"
+	"repro/internal/gates"
+)
+
+// Gate is one operation: a single-qubit unitary applied to Target under
+// the given controls. Multi-qubit primitives (CX, CCZ, SWAP, …) are
+// expressed through controls or decomposition.
+type Gate struct {
+	Name     string       // mnemonic of the base gate, e.g. "x", "h", "p"
+	Matrix   gates.Matrix // the 2×2 target unitary
+	Target   int
+	Controls []dd.Control
+	Params   []float64 // angle parameters, for display/serialisation
+}
+
+// Block marks a consecutively repeated gate subsequence: the body is
+// Gates[Start:End) and the flat gate list contains Repeat consecutive
+// copies of it, i.e. Gates[Start : Start+Repeat*(End-Start)). Strategies
+// unaware of blocks simply ignore them.
+type Block struct {
+	Name   string
+	Start  int
+	End    int
+	Repeat int
+}
+
+// Circuit is a gate sequence over NQubits qubits.
+type Circuit struct {
+	Name    string
+	NQubits int
+	Gates   []Gate
+	Blocks  []Block
+}
+
+// New returns an empty circuit on n qubits.
+func New(n int) *Circuit {
+	if n <= 0 {
+		panic(fmt.Sprintf("circuit: New(%d): qubit count must be positive", n))
+	}
+	return &Circuit{NQubits: n}
+}
+
+func (c *Circuit) check(qubits ...int) {
+	for _, q := range qubits {
+		if q < 0 || q >= c.NQubits {
+			panic(fmt.Sprintf("circuit: qubit %d out of range [0,%d)", q, c.NQubits))
+		}
+	}
+}
+
+// Append adds a gate after validating its qubit indices.
+func (c *Circuit) Append(g Gate) *Circuit {
+	c.check(g.Target)
+	for _, ctl := range g.Controls {
+		c.check(ctl.Qubit)
+		if ctl.Qubit == g.Target {
+			panic(fmt.Sprintf("circuit: qubit %d is both control and target", ctl.Qubit))
+		}
+	}
+	c.Gates = append(c.Gates, g)
+	return c
+}
+
+// apply1 appends a named single-qubit gate.
+func (c *Circuit) apply1(name string, m gates.Matrix, target int, params ...float64) *Circuit {
+	return c.Append(Gate{Name: name, Matrix: m, Target: target, Params: params})
+}
+
+// applyCtl appends a controlled gate.
+func (c *Circuit) applyCtl(name string, m gates.Matrix, target int, controls []dd.Control, params ...float64) *Circuit {
+	return c.Append(Gate{Name: name, Matrix: m, Target: target, Controls: controls, Params: params})
+}
+
+// I appends an explicit identity (useful for padding tests).
+func (c *Circuit) I(q int) *Circuit { return c.apply1("i", gates.I, q) }
+
+// X appends a Pauli-X gate.
+func (c *Circuit) X(q int) *Circuit { return c.apply1("x", gates.X, q) }
+
+// Y appends a Pauli-Y gate.
+func (c *Circuit) Y(q int) *Circuit { return c.apply1("y", gates.Y, q) }
+
+// Z appends a Pauli-Z gate.
+func (c *Circuit) Z(q int) *Circuit { return c.apply1("z", gates.Z, q) }
+
+// H appends a Hadamard gate.
+func (c *Circuit) H(q int) *Circuit { return c.apply1("h", gates.H, q) }
+
+// S appends a phase gate S.
+func (c *Circuit) S(q int) *Circuit { return c.apply1("s", gates.S, q) }
+
+// Sdg appends S†.
+func (c *Circuit) Sdg(q int) *Circuit { return c.apply1("sdg", gates.Sdg, q) }
+
+// T appends a T gate.
+func (c *Circuit) T(q int) *Circuit { return c.apply1("t", gates.T, q) }
+
+// Tdg appends T†.
+func (c *Circuit) Tdg(q int) *Circuit { return c.apply1("tdg", gates.Tdg, q) }
+
+// SX appends √X.
+func (c *Circuit) SX(q int) *Circuit { return c.apply1("sx", gates.SX, q) }
+
+// SY appends √Y.
+func (c *Circuit) SY(q int) *Circuit { return c.apply1("sy", gates.SY, q) }
+
+// P appends the phase gate diag(1, e^{iθ}).
+func (c *Circuit) P(theta float64, q int) *Circuit {
+	return c.apply1("p", gates.Phase(theta), q, theta)
+}
+
+// RX appends an X rotation.
+func (c *Circuit) RX(theta float64, q int) *Circuit {
+	return c.apply1("rx", gates.RX(theta), q, theta)
+}
+
+// RY appends a Y rotation.
+func (c *Circuit) RY(theta float64, q int) *Circuit {
+	return c.apply1("ry", gates.RY(theta), q, theta)
+}
+
+// RZ appends a Z rotation.
+func (c *Circuit) RZ(theta float64, q int) *Circuit {
+	return c.apply1("rz", gates.RZ(theta), q, theta)
+}
+
+// U appends the generic Euler-angle gate.
+func (c *Circuit) U(theta, phi, lambda float64, q int) *Circuit {
+	return c.apply1("u", gates.U(theta, phi, lambda), q, theta, phi, lambda)
+}
+
+// CX appends a controlled-X (CNOT).
+func (c *Circuit) CX(ctl, target int) *Circuit {
+	return c.applyCtl("x", gates.X, target, []dd.Control{dd.Pos(ctl)})
+}
+
+// CZ appends a controlled-Z.
+func (c *Circuit) CZ(ctl, target int) *Circuit {
+	return c.applyCtl("z", gates.Z, target, []dd.Control{dd.Pos(ctl)})
+}
+
+// CCX appends a Toffoli gate.
+func (c *Circuit) CCX(ctl1, ctl2, target int) *Circuit {
+	return c.applyCtl("x", gates.X, target, []dd.Control{dd.Pos(ctl1), dd.Pos(ctl2)})
+}
+
+// CP appends a controlled phase gate.
+func (c *Circuit) CP(theta float64, ctl, target int) *Circuit {
+	return c.applyCtl("p", gates.Phase(theta), target, []dd.Control{dd.Pos(ctl)}, theta)
+}
+
+// CCP appends a doubly-controlled phase gate.
+func (c *Circuit) CCP(theta float64, ctl1, ctl2, target int) *Circuit {
+	return c.applyCtl("p", gates.Phase(theta), target, []dd.Control{dd.Pos(ctl1), dd.Pos(ctl2)}, theta)
+}
+
+// MC appends a multi-controlled gate with arbitrary control polarities.
+func (c *Circuit) MC(name string, m gates.Matrix, controls []dd.Control, target int, params ...float64) *Circuit {
+	return c.applyCtl(name, m, target, controls, params...)
+}
+
+// Swap appends the exchange of qubits a and b (three CX gates).
+func (c *Circuit) Swap(a, b int) *Circuit {
+	if a == b {
+		return c
+	}
+	return c.CX(a, b).CX(b, a).CX(a, b)
+}
+
+// CSwap appends a controlled swap (Fredkin), decomposed into CX and
+// Toffoli gates.
+func (c *Circuit) CSwap(ctl, a, b int) *Circuit {
+	if a == b {
+		return c
+	}
+	return c.CX(b, a).CCX(ctl, a, b).CX(b, a)
+}
+
+// Repeat appends `times` copies of the gates produced by body (which
+// receives the circuit and appends one iteration) and records the
+// repetition as a Block the DD-repeating strategy can exploit.
+func (c *Circuit) Repeat(name string, times int, body func(*Circuit)) *Circuit {
+	if times <= 0 {
+		panic(fmt.Sprintf("circuit: Repeat(%q, %d): repetition count must be positive", name, times))
+	}
+	start := len(c.Gates)
+	body(c)
+	end := len(c.Gates)
+	if end == start {
+		panic(fmt.Sprintf("circuit: Repeat(%q): empty body", name))
+	}
+	iter := append([]Gate(nil), c.Gates[start:end]...)
+	for i := 1; i < times; i++ {
+		c.Gates = append(c.Gates, iter...)
+	}
+	c.Blocks = append(c.Blocks, Block{Name: name, Start: start, End: end, Repeat: times})
+	return c
+}
+
+// AppendCircuit appends all gates of other (which must have the same
+// qubit count); other's blocks are carried over with shifted indices.
+func (c *Circuit) AppendCircuit(other *Circuit) *Circuit {
+	if other.NQubits != c.NQubits {
+		panic(fmt.Sprintf("circuit: AppendCircuit: qubit count mismatch %d vs %d", other.NQubits, c.NQubits))
+	}
+	offset := len(c.Gates)
+	c.Gates = append(c.Gates, other.Gates...)
+	for _, b := range other.Blocks {
+		c.Blocks = append(c.Blocks, Block{Name: b.Name, Start: b.Start + offset, End: b.End + offset, Repeat: b.Repeat})
+	}
+	return c
+}
+
+// Inverse returns the adjoint circuit: gates reversed and conjugate
+// transposed. Blocks are dropped (their structure does not survive
+// reversal in general).
+func (c *Circuit) Inverse() *Circuit {
+	inv := New(c.NQubits)
+	inv.Name = c.Name + "_inv"
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		g := c.Gates[i]
+		params := invertParams(g.Name, g.Params)
+		inv.Append(Gate{
+			Name:     adjointName(g.Name),
+			Matrix:   gates.Adjoint(g.Matrix),
+			Target:   g.Target,
+			Controls: append([]dd.Control(nil), g.Controls...),
+			Params:   params,
+		})
+	}
+	return inv
+}
+
+// adjointName maps a gate mnemonic to the mnemonic of its adjoint so
+// inverted circuits remain serialisable.
+func adjointName(name string) string {
+	switch name {
+	case "s":
+		return "sdg"
+	case "sdg":
+		return "s"
+	case "t":
+		return "tdg"
+	case "tdg":
+		return "t"
+	case "sx":
+		return "sxdg"
+	case "sxdg":
+		return "sx"
+	case "sy":
+		return "sydg"
+	case "sydg":
+		return "sy"
+	default:
+		// Self-inverse (i, x, y, z, h) or parameter-negated (p, rx, ry,
+		// rz, u) gates keep their mnemonic.
+		return name
+	}
+}
+
+func invertParams(name string, params []float64) []float64 {
+	if len(params) == 0 {
+		return nil
+	}
+	out := make([]float64, len(params))
+	for i, p := range params {
+		out[i] = -p
+	}
+	if name == "u" && len(params) == 3 {
+		// U(θ,φ,λ)† = U(-θ,-λ,-φ)
+		out[1], out[2] = -params[2], -params[1]
+	}
+	return out
+}
+
+// GateCount returns the number of gates.
+func (c *Circuit) GateCount() int { return len(c.Gates) }
+
+// CountByName returns per-mnemonic gate counts (controlled gates are
+// counted under their base name prefixed by one "c" per control).
+func (c *Circuit) CountByName() map[string]int {
+	out := make(map[string]int)
+	for _, g := range c.Gates {
+		name := g.Name
+		for range g.Controls {
+			name = "c" + name
+		}
+		out[name]++
+	}
+	return out
+}
+
+// Depth returns the circuit depth under the usual greedy schedule: a
+// gate occupies its target and all control qubits for one time step.
+func (c *Circuit) Depth() int {
+	avail := make([]int, c.NQubits)
+	depth := 0
+	for _, g := range c.Gates {
+		t := avail[g.Target]
+		for _, ctl := range g.Controls {
+			if avail[ctl.Qubit] > t {
+				t = avail[ctl.Qubit]
+			}
+		}
+		t++
+		avail[g.Target] = t
+		for _, ctl := range g.Controls {
+			avail[ctl.Qubit] = t
+		}
+		if t > depth {
+			depth = t
+		}
+	}
+	return depth
+}
+
+// Validate checks structural invariants: qubit ranges, control/target
+// disjointness, unitary gate matrices, and well-formed blocks.
+func (c *Circuit) Validate() error {
+	if c.NQubits <= 0 {
+		return fmt.Errorf("circuit %q: non-positive qubit count %d", c.Name, c.NQubits)
+	}
+	for i, g := range c.Gates {
+		if g.Target < 0 || g.Target >= c.NQubits {
+			return fmt.Errorf("circuit %q: gate %d: target %d out of range", c.Name, i, g.Target)
+		}
+		seen := map[int]bool{g.Target: true}
+		for _, ctl := range g.Controls {
+			if ctl.Qubit < 0 || ctl.Qubit >= c.NQubits {
+				return fmt.Errorf("circuit %q: gate %d: control %d out of range", c.Name, i, ctl.Qubit)
+			}
+			if seen[ctl.Qubit] {
+				return fmt.Errorf("circuit %q: gate %d: qubit %d used twice", c.Name, i, ctl.Qubit)
+			}
+			seen[ctl.Qubit] = true
+		}
+		if err := gates.CheckUnitary(g.Matrix, 1e-9); err != nil {
+			return fmt.Errorf("circuit %q: gate %d (%s): %w", c.Name, i, g.Name, err)
+		}
+	}
+	for _, b := range c.Blocks {
+		body := b.End - b.Start
+		if b.Start < 0 || body <= 0 || b.Repeat <= 0 || b.Start+body*b.Repeat > len(c.Gates) {
+			return fmt.Errorf("circuit %q: malformed block %+v", c.Name, b)
+		}
+		for i := 0; i < body; i++ {
+			for r := 1; r < b.Repeat; r++ {
+				if !sameGate(c.Gates[b.Start+i], c.Gates[b.Start+r*body+i]) {
+					return fmt.Errorf("circuit %q: block %q: repetition %d differs from body at offset %d", c.Name, b.Name, r, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sameGate(a, b Gate) bool {
+	if a.Name != b.Name || a.Target != b.Target || len(a.Controls) != len(b.Controls) {
+		return false
+	}
+	for i := range a.Controls {
+		if a.Controls[i] != b.Controls[i] {
+			return false
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			d := a.Matrix[i][j] - b.Matrix[i][j]
+			if math.Abs(real(d)) > 1e-12 || math.Abs(imag(d)) > 1e-12 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,368 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dd"
+	"repro/internal/gates"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	c := New(3)
+	c.H(0).CX(0, 1).CCX(0, 1, 2).P(math.Pi/4, 2)
+	if c.GateCount() != 4 {
+		t.Fatalf("gate count %d, want 4", c.GateCount())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := c.CountByName()
+	if counts["h"] != 1 || counts["cx"] != 1 || counts["ccx"] != 1 || counts["p"] != 1 {
+		t.Fatalf("unexpected counts %v", counts)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	mustPanic(t, func() { New(0) })
+	mustPanic(t, func() { New(2).H(2) })
+	mustPanic(t, func() { New(2).CX(0, 0) })
+	mustPanic(t, func() { New(2).Repeat("r", 0, func(c *Circuit) { c.H(0) }) })
+	mustPanic(t, func() { New(2).Repeat("r", 3, func(c *Circuit) {}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestRepeatExpandsAndRecords(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.Repeat("iter", 3, func(c *Circuit) {
+		c.CX(0, 1)
+		c.H(1)
+	})
+	c.X(0)
+	if c.GateCount() != 1+3*2+1 {
+		t.Fatalf("gate count %d, want 8", c.GateCount())
+	}
+	if len(c.Blocks) != 1 {
+		t.Fatalf("blocks %d, want 1", len(c.Blocks))
+	}
+	b := c.Blocks[0]
+	if b.Start != 1 || b.End != 3 || b.Repeat != 3 {
+		t.Fatalf("block %+v", b)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBrokenBlock(t *testing.T) {
+	c := New(2)
+	c.H(0).H(0).H(0)
+	c.Blocks = append(c.Blocks, Block{Name: "bad", Start: 0, End: 2, Repeat: 3})
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error for out-of-range block")
+	}
+	c2 := New(2)
+	c2.H(0).X(1).H(0).H(1) // second "repetition" differs
+	c2.Blocks = append(c2.Blocks, Block{Name: "bad", Start: 0, End: 2, Repeat: 2})
+	if err := c2.Validate(); err == nil {
+		t.Fatal("expected error for non-matching repetition")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	c := New(3)
+	c.H(0).H(1).H(2) // parallel: depth 1
+	if d := c.Depth(); d != 1 {
+		t.Fatalf("depth %d, want 1", d)
+	}
+	c.CX(0, 1) // depth 2
+	c.CX(1, 2) // depth 3
+	if d := c.Depth(); d != 3 {
+		t.Fatalf("depth %d, want 3", d)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	c := New(2)
+	c.H(0).S(0).T(1).CX(0, 1).P(0.7, 1).SX(0)
+	inv := c.Inverse()
+	if inv.GateCount() != c.GateCount() {
+		t.Fatal("inverse changed gate count")
+	}
+	// Composing c with its inverse must give the identity on every gate
+	// pair: check via matrices of first/last pairing.
+	for i, g := range c.Gates {
+		ig := inv.Gates[len(inv.Gates)-1-i]
+		prod := gates.Mul(ig.Matrix, g.Matrix)
+		// only equal for the same target gate pair; here they pair up in
+		// reverse order so g's partner is at mirrored index.
+		if !gates.ApproxEqual(prod, gates.I, 1e-9, false) {
+			t.Fatalf("gate %d (%s): inverse pairing broken", i, g.Name)
+		}
+	}
+	// Adjoint names must be serialisable.
+	names := map[string]bool{}
+	for _, g := range inv.Gates {
+		names[g.Name] = true
+	}
+	for n := range names {
+		if strings.Contains(n, "†") {
+			t.Fatalf("unserialisable adjoint name %q", n)
+		}
+	}
+	if err := inv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendCircuit(t *testing.T) {
+	a := New(2)
+	a.H(0)
+	b := New(2)
+	b.Repeat("r", 2, func(c *Circuit) { c.X(1) })
+	a.AppendCircuit(b)
+	if a.GateCount() != 3 {
+		t.Fatalf("gate count %d, want 3", a.GateCount())
+	}
+	if len(a.Blocks) != 1 || a.Blocks[0].Start != 1 {
+		t.Fatalf("block offset wrong: %+v", a.Blocks)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mustPanic(t, func() { a.AppendCircuit(New(3)) })
+}
+
+func TestSwapDecomposition(t *testing.T) {
+	c := New(2)
+	c.Swap(0, 1)
+	if c.GateCount() != 3 {
+		t.Fatalf("swap should decompose into 3 gates, got %d", c.GateCount())
+	}
+	c2 := New(2)
+	c2.Swap(1, 1)
+	if c2.GateCount() != 0 {
+		t.Fatal("self-swap should be a no-op")
+	}
+	c3 := New(3)
+	c3.CSwap(0, 1, 2)
+	if c3.GateCount() != 3 {
+		t.Fatalf("cswap should decompose into 3 gates, got %d", c3.GateCount())
+	}
+	if err := c3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- parser -------------------------------------------------------------
+
+func TestParseBasic(t *testing.T) {
+	src := `
+# a comment
+name demo
+qubits 3
+h 0
+cx 0 1
+ccx 0 1 2
+cp(pi/4) 0 2
+cx !0 1
+x 2 # trailing comment
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "demo" || c.NQubits != 3 || c.GateCount() != 6 {
+		t.Fatalf("parsed %q %d qubits %d gates", c.Name, c.NQubits, c.GateCount())
+	}
+	g := c.Gates[4] // cx !0 1
+	if len(g.Controls) != 1 || !g.Controls[0].Negative || g.Controls[0].Qubit != 0 {
+		t.Fatalf("negative control not parsed: %+v", g)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRepeat(t *testing.T) {
+	src := `
+qubits 2
+h 0
+repeat 4
+  cx 0 1
+  h 1
+endrepeat
+x 0
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GateCount() != 1+4*2+1 {
+		t.Fatalf("gate count %d, want 10", c.GateCount())
+	}
+	if len(c.Blocks) != 1 || c.Blocks[0].Repeat != 4 {
+		t.Fatalf("block not recorded: %+v", c.Blocks)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAngles(t *testing.T) {
+	cases := map[string]float64{
+		"p(0.5) 0":    0.5,
+		"p(pi) 0":     math.Pi,
+		"p(-pi) 0":    -math.Pi,
+		"p(pi/4) 0":   math.Pi / 4,
+		"p(2pi) 0":    2 * math.Pi,
+		"p(3pi/8) 0":  3 * math.Pi / 8,
+		"p(-pi/2) 0":  -math.Pi / 2,
+		"p(0.5pi) 0":  0.5 * math.Pi,
+		"p(1.5e-1) 0": 0.15,
+	}
+	for line, want := range cases {
+		c, err := ParseString("qubits 1\n" + line)
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		if got := c.Gates[0].Params[0]; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%q: angle %v, want %v", line, got, want)
+		}
+	}
+}
+
+func TestParseSwap(t *testing.T) {
+	c, err := ParseString("qubits 3\nswap 0 2\ncswap 0 1 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GateCount() != 6 {
+		t.Fatalf("gate count %d, want 6 (3 per swap)", c.GateCount())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                   // no qubits
+		"qubits 0",                           // invalid count
+		"qubits two",                         // invalid count
+		"h 0",                                // gates before qubits
+		"qubits 2\nfoo 0",                    // unknown gate
+		"qubits 2\nh 5",                      // out of range
+		"qubits 2\nh !0",                     // negated target
+		"qubits 2\ncx 0",                     // missing operand
+		"qubits 2\np 0",                      // missing parameter
+		"qubits 2\np(0.5",                    // malformed parens
+		"qubits 2\np(xyz) 0",                 // bad angle
+		"qubits 2\np(pi/0) 0",                // division by zero
+		"qubits 2\nrepeat 2\nh 0",            // unterminated repeat
+		"qubits 2\nendrepeat",                // stray endrepeat
+		"qubits 2\nrepeat 0\nh 0\nendrepeat", // bad count
+		"qubits 2\nrepeat 2\nendrepeat",      // empty body
+		"qubits 2\nqubits 2",                 // duplicate declaration
+		"qubits 2\nu(1,2) 0",                 // wrong arity
+		"qubits 3\ncswap !0 1 2",             // negative control on swap
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	c := New(4)
+	c.Name = "round"
+	c.H(0).CX(0, 1).CCP(math.Pi/8, 0, 1, 3).SX(2).Tdg(3)
+	c.MC("z", gates.Z, []dd.Control{dd.Neg(0), dd.Pos(2)}, 3)
+	text := c.String()
+	parsed, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", text, err)
+	}
+	if parsed.GateCount() != c.GateCount() {
+		t.Fatalf("round trip changed gate count: %d vs %d", parsed.GateCount(), c.GateCount())
+	}
+	for i := range c.Gates {
+		if !sameGate(c.Gates[i], parsed.Gates[i]) {
+			t.Fatalf("gate %d changed in round trip:\n%+v\nvs\n%+v", i, c.Gates[i], parsed.Gates[i])
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	c := New(3)
+	c.H(0).S(1).T(2).SX(0).SY(1).P(0.3, 2).U(0.1, 0.2, 0.3, 0)
+	inv := c.Inverse()
+	text := inv.String()
+	parsed, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parsing inverse %q: %v", text, err)
+	}
+	for i := range inv.Gates {
+		if !gates.ApproxEqual(parsed.Gates[i].Matrix, inv.Gates[i].Matrix, 1e-9, false) {
+			t.Fatalf("inverse gate %d matrix changed in round trip", i)
+		}
+	}
+}
+
+// Property: any builder-generated circuit survives the textual round
+// trip gate-for-gate.
+func TestQuickTextRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%5 + 2
+		rng := rand.New(rand.NewSource(seed))
+		c := New(n)
+		for i := 0; i < 20; i++ {
+			q := rng.Intn(n)
+			p := (q + 1 + rng.Intn(n-1)) % n
+			switch rng.Intn(6) {
+			case 0:
+				c.H(q)
+			case 1:
+				c.Tdg(q)
+			case 2:
+				c.P(rng.Float64()*2-1, q)
+			case 3:
+				c.CX(q, p)
+			case 4:
+				c.MC("z", gates.Z, []dd.Control{dd.Neg(q)}, p)
+			default:
+				c.U(rng.Float64(), rng.Float64(), rng.Float64(), q)
+			}
+		}
+		parsed, err := ParseString(c.String())
+		if err != nil {
+			return false
+		}
+		if parsed.GateCount() != c.GateCount() {
+			return false
+		}
+		for i := range c.Gates {
+			if !gates.ApproxEqual(parsed.Gates[i].Matrix, c.Gates[i].Matrix, 1e-9, false) {
+				return false
+			}
+			if parsed.Gates[i].Target != c.Gates[i].Target {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

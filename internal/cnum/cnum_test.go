@@ -1,0 +1,191 @@
+package cnum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEqBasics(t *testing.T) {
+	cases := []struct {
+		a, b complex128
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{complex(1, 0), complex(1, Tol/2), true},
+		{complex(1, 0), complex(1, 10*Tol), false},
+		{complex(0.5, -0.5), complex(0.5+Tol/3, -0.5-Tol/3), true},
+		{complex(0.5, -0.5), complex(-0.5, 0.5), false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsZeroIsOne(t *testing.T) {
+	if !IsZero(complex(Tol/4, -Tol/4)) {
+		t.Error("near-zero not recognised as zero")
+	}
+	if IsZero(complex(3*Tol, 0)) {
+		t.Error("3*Tol wrongly recognised as zero")
+	}
+	if !IsOne(complex(1+Tol/4, Tol/4)) {
+		t.Error("near-one not recognised as one")
+	}
+	if IsOne(complex(1, 1)) {
+		t.Error("1+i wrongly recognised as one")
+	}
+}
+
+func TestKeyOfStable(t *testing.T) {
+	a := complex(0.123456789, -0.987654321)
+	if KeyOf(a) != KeyOf(a) {
+		t.Fatal("KeyOf not deterministic")
+	}
+}
+
+func TestTableCanonicalises(t *testing.T) {
+	var tbl Table
+	a := complex(1/math.Sqrt2, 0)
+	b := complex(1/math.Sqrt2+Tol/5, Tol/7)
+	ca := tbl.Lookup(a)
+	cb := tbl.Lookup(b)
+	if ca != cb {
+		t.Fatalf("values within Tol got different representatives: %v vs %v", ca, cb)
+	}
+	if tbl.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", tbl.Size())
+	}
+	hits, misses := tbl.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("Stats = (%d,%d), want (1,1)", hits, misses)
+	}
+}
+
+func TestTableZeroOneShortCircuit(t *testing.T) {
+	var tbl Table
+	if tbl.Lookup(0) != Zero {
+		t.Error("Lookup(0) != Zero")
+	}
+	if tbl.Lookup(1) != One {
+		t.Error("Lookup(1) != One")
+	}
+	if tbl.Lookup(complex(Tol/10, 0)) != Zero {
+		t.Error("near-zero should canonicalise to exact Zero")
+	}
+	if tbl.Lookup(complex(1, Tol/10)) != One {
+		t.Error("near-one should canonicalise to exact One")
+	}
+	if tbl.Size() != 0 {
+		t.Errorf("Size = %d, want 0 (zero/one are not stored)", tbl.Size())
+	}
+}
+
+func TestTableDistinctValues(t *testing.T) {
+	var tbl Table
+	vals := []complex128{
+		complex(0.1, 0), complex(0.2, 0), complex(0.1, 0.1),
+		complex(-0.1, 0), complex(0, 0.1),
+	}
+	for _, v := range vals {
+		tbl.Lookup(v)
+	}
+	if tbl.Size() != len(vals) {
+		t.Fatalf("Size = %d, want %d", tbl.Size(), len(vals))
+	}
+	// Looking the same values up again must not grow the table.
+	for _, v := range vals {
+		if got := tbl.Lookup(v); got != v {
+			t.Errorf("Lookup(%v) = %v, want identity", v, got)
+		}
+	}
+	if tbl.Size() != len(vals) {
+		t.Fatalf("Size after re-lookup = %d, want %d", tbl.Size(), len(vals))
+	}
+}
+
+func TestTableReset(t *testing.T) {
+	var tbl Table
+	tbl.Lookup(complex(0.3, 0.4))
+	tbl.Reset()
+	if tbl.Size() != 0 {
+		t.Fatal("Reset did not clear the table")
+	}
+	h, m := tbl.Stats()
+	if h != 0 || m != 0 {
+		t.Fatal("Reset did not clear the statistics")
+	}
+}
+
+// Property: canonicalisation is idempotent and stays within Tol of the
+// input.
+func TestTableLookupIdempotentProperty(t *testing.T) {
+	var tbl Table
+	f := func(re, im float64) bool {
+		// Keep values in a sane range; amplitudes are bounded by 1 anyway.
+		re = math.Mod(re, 2)
+		im = math.Mod(im, 2)
+		if math.IsNaN(re) || math.IsNaN(im) {
+			return true
+		}
+		c := complex(re, im)
+		r1 := tbl.Lookup(c)
+		r2 := tbl.Lookup(r1)
+		return r1 == r2 && Eq(r1, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two values within Tol/2 of each other always share a
+// representative, no matter where they fall relative to cell boundaries.
+func TestTableMergesCloseValuesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		var tbl Table
+		base := complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		eps := complex((rng.Float64()-0.5)*Tol, (rng.Float64()-0.5)*Tol)
+		if tbl.Lookup(base) != tbl.Lookup(base+eps) {
+			t.Fatalf("values %v and %v (within Tol) got distinct representatives", base, base+eps)
+		}
+	}
+}
+
+func TestAbs2(t *testing.T) {
+	if got := Abs2(complex(3, 4)); !EqFloat(got, 25) {
+		t.Errorf("Abs2(3+4i) = %v, want 25", got)
+	}
+	if got := Abs2(SqrtHalf); !EqFloat(got, 0.5) {
+		t.Errorf("Abs2(1/sqrt2) = %v, want 0.5", got)
+	}
+}
+
+func TestPolar(t *testing.T) {
+	r, theta := Polar(complex(0, 2))
+	if !EqFloat(r, 2) || !EqFloat(theta, math.Pi/2) {
+		t.Errorf("Polar(2i) = (%v,%v), want (2, pi/2)", r, theta)
+	}
+}
+
+func BenchmarkTableLookupHit(b *testing.B) {
+	var tbl Table
+	c := complex(1/math.Sqrt2, 0)
+	tbl.Lookup(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(c)
+	}
+}
+
+func BenchmarkTableLookupMiss(b *testing.B) {
+	var tbl Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(complex(float64(i)*1e-3, 0))
+	}
+}

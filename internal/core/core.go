@@ -1,0 +1,450 @@
+// Package core implements the paper's contribution: DD-based
+// Schrödinger simulation with pluggable strategies that trade
+// matrix-matrix against matrix-vector multiplications.
+//
+// The baseline ("sequential", the state of the art the paper improves
+// on) applies one gate matrix to the state per step — Eq. 1. The
+// combination strategies of Section IV-A absorb runs of gates into an
+// accumulated operation matrix first (matrix-matrix multiplications on
+// small DDs) and touch the — typically much larger — state DD only when
+// the strategy decides to flush:
+//
+//   - KOperations flushes after every k absorbed gates.
+//   - MaxSize flushes once the accumulated matrix DD exceeds s_max nodes.
+//
+// Section IV-B's knowledge-exploiting strategies are also here:
+//
+//   - Repeated blocks (DD-repeating): a circuit Block's body is combined
+//     into a single matrix once and re-used for every further iteration
+//     without any additional matrix-matrix multiplication.
+//   - Direct construction (DD-construct) is provided by the shor package
+//     on top of dd.FromPermutation; see internal/shor.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/dd"
+)
+
+// Strategy decides when the accumulated operation matrix is applied to
+// the state vector. After each gate is absorbed, ShouldApply is called
+// with the number of gates combined so far and lazily evaluated node
+// counts of the accumulated operation DD and the current state DD.
+type Strategy interface {
+	Name() string
+	ShouldApply(combined int, opSize, stateSize func() int) bool
+}
+
+// Sequential is the state-of-the-art baseline: every gate is applied to
+// the state immediately (pure matrix-vector simulation, Eq. 1).
+type Sequential struct{}
+
+// Name implements Strategy.
+func (Sequential) Name() string { return "sequential" }
+
+// ShouldApply implements Strategy: always flush.
+func (Sequential) ShouldApply(int, func() int, func() int) bool { return true }
+
+// KOperations combines runs of K gates via matrix-matrix multiplication
+// before each matrix-vector step (strategy "k-operations", Sec. IV-A).
+type KOperations struct {
+	K int
+}
+
+// Name implements Strategy.
+func (s KOperations) Name() string { return fmt.Sprintf("k-operations(k=%d)", s.K) }
+
+// ShouldApply implements Strategy.
+func (s KOperations) ShouldApply(combined int, _, _ func() int) bool {
+	return combined >= s.K
+}
+
+// MaxSize combines gates until the accumulated matrix DD exceeds SMax
+// nodes (strategy "max-size", Sec. IV-A). Parameterisation is by DD
+// size, not gate count, so cheap runs are combined further and expensive
+// ones flushed early.
+type MaxSize struct {
+	SMax int
+}
+
+// Name implements Strategy.
+func (s MaxSize) Name() string { return fmt.Sprintf("max-size(s=%d)", s.SMax) }
+
+// ShouldApply implements Strategy.
+func (s MaxSize) ShouldApply(_ int, opSize, _ func() int) bool {
+	return opSize() > s.SMax
+}
+
+// Adaptive flushes once the accumulated operation DD grows beyond
+// Ratio times the current state DD — an extension of the paper's
+// max-size idea that normalises the threshold by the quantity actually
+// driving the matrix-vector cost. With large state DDs it keeps
+// combining aggressively; with small ones it behaves almost
+// sequentially. Included as an ablation of the fixed-threshold design
+// choice.
+type Adaptive struct {
+	// Ratio is the op-to-state size ratio above which the accumulated
+	// matrix is applied. Values around 0.5–2 work well; zero selects 1.
+	Ratio float64
+}
+
+// Name implements Strategy.
+func (s Adaptive) Name() string { return fmt.Sprintf("adaptive(r=%g)", s.ratio()) }
+
+func (s Adaptive) ratio() float64 {
+	if s.Ratio <= 0 {
+		return 1
+	}
+	return s.Ratio
+}
+
+// ShouldApply implements Strategy.
+func (s Adaptive) ShouldApply(_ int, opSize, stateSize func() int) bool {
+	return float64(opSize()) > s.ratio()*float64(stateSize())
+}
+
+// CombineAll never flushes until the end of the circuit — the extreme
+// case of completely following Eq. 2, which the paper shows is *not* a
+// good idea. Included for the ablation benchmarks.
+type CombineAll struct{}
+
+// Name implements Strategy.
+func (CombineAll) Name() string { return "combine-all" }
+
+// ShouldApply implements Strategy.
+func (CombineAll) ShouldApply(int, func() int, func() int) bool { return false }
+
+// Options configures a simulation run.
+type Options struct {
+	// Strategy defaults to Sequential{}.
+	Strategy Strategy
+	// UseBlocks enables the DD-repeating treatment of circuit Blocks:
+	// each block body is combined into one matrix and re-used across all
+	// repetitions.
+	UseBlocks bool
+	// GCThreshold is the live-node count above which the engine is
+	// garbage collected between steps. Zero selects the default (200k);
+	// negative disables collection.
+	GCThreshold int
+	// RecordTrace records the DD sizes of the state after every
+	// matrix-vector step and of every applied operation matrix (used for
+	// the Fig. 5 style size traces). Costs O(size) per step.
+	RecordTrace bool
+	// Deadline aborts the run with ErrDeadlineExceeded once the wall
+	// clock passes it (checked between multiplications). The zero value
+	// means no deadline. This mirrors the paper's 2-CPU-hour timeout for
+	// the t_sota columns.
+	Deadline time.Time
+	// InitialState overrides the |0…0> start state.
+	InitialState *dd.VEdge
+	// Engine re-uses an existing engine (otherwise a fresh one is
+	// created per run).
+	Engine *dd.Engine
+}
+
+const defaultGCThreshold = 200_000
+
+// ErrDeadlineExceeded reports that a simulation hit Options.Deadline.
+var ErrDeadlineExceeded = errors.New("core: simulation deadline exceeded")
+
+// TracePoint is one recorded simulation step.
+type TracePoint struct {
+	GateIndex  int // index one past the last gate included in this step
+	OpSize     int // nodes of the applied operation matrix DD
+	StateSize  int // nodes of the state DD after the step
+	Combined   int // gates combined into the applied matrix
+	FromBlock  bool
+	BlockName  string
+	BlockReuse bool // true when the matrix was re-used, not re-built
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	State    dd.VEdge
+	Engine   *dd.Engine
+	Stats    dd.Stats
+	Duration time.Duration
+	// MatVecSteps and MatMatSteps are the top-level multiplication
+	// counts of this run (not cumulated across engine re-use).
+	MatVecSteps int
+	MatMatSteps int
+	Trace       []TracePoint
+}
+
+// Run simulates circuit c from |0…0> (or Options.InitialState) and
+// returns the final state vector as a DD.
+func Run(c *circuit.Circuit, opt Options) (*Result, error) {
+	if c == nil {
+		return nil, errors.New("core: nil circuit")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if opt.Strategy == nil {
+		opt.Strategy = Sequential{}
+	}
+	if opt.GCThreshold == 0 {
+		opt.GCThreshold = defaultGCThreshold
+	}
+	eng := opt.Engine
+	if eng == nil {
+		eng = dd.New()
+	}
+
+	start := time.Now()
+	statsBefore := eng.Stats()
+
+	v := eng.ZeroState(c.NQubits)
+	if opt.InitialState != nil {
+		v = *opt.InitialState
+		if v.Qubits() != c.NQubits {
+			return nil, fmt.Errorf("core: initial state spans %d qubits, circuit has %d", v.Qubits(), c.NQubits)
+		}
+	}
+
+	r := &runner{
+		eng:     eng,
+		c:       c,
+		opt:     opt,
+		v:       v,
+		next:    0,
+		stateSz: -1,
+	}
+	if !opt.Deadline.IsZero() {
+		// Arm the engine-level deadline too: a single multiplication on
+		// huge diagrams can outlive many per-gate checks.
+		eng.SetDeadline(opt.Deadline)
+		defer eng.SetDeadline(time.Time{})
+	}
+	if err := r.runRecovering(); err != nil {
+		return nil, err
+	}
+
+	statsAfter := eng.Stats()
+	return &Result{
+		State:       r.v,
+		Engine:      eng,
+		Stats:       statsAfter,
+		Duration:    time.Since(start),
+		MatVecSteps: int(statsAfter.MatVecMuls - statsBefore.MatVecMuls),
+		MatMatSteps: int(statsAfter.MatMatMuls - statsBefore.MatMatMuls),
+		Trace:       r.trace,
+	}, nil
+}
+
+// runner holds the mutable state of one simulation.
+type runner struct {
+	eng   *dd.Engine
+	c     *circuit.Circuit
+	opt   Options
+	v     dd.VEdge
+	next  int // index of the next gate to absorb
+	trace []TracePoint
+
+	acc      dd.MEdge // accumulated operation matrix
+	accValid bool
+	combined int
+	// stateSz caches the state DD's node count between flushes (-1 =
+	// unknown); it only changes when an operation is applied.
+	stateSz int
+
+	// blockMat keeps combined block matrices alive across GC.
+	blockMats []dd.MEdge
+}
+
+// runRecovering runs the simulation, translating engine deadline
+// aborts (which surface as panics from deep inside a multiplication)
+// into ErrDeadlineExceeded.
+func (r *runner) runRecovering() (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if dd.AbortedByDeadline(rec) {
+				err = ErrDeadlineExceeded
+				return
+			}
+			panic(rec)
+		}
+	}()
+	return r.run()
+}
+
+func (r *runner) run() error {
+	blocks := r.blockIndex()
+	for r.next < len(r.c.Gates) {
+		if err := r.checkDeadline(); err != nil {
+			return err
+		}
+		if b, ok := blocks[r.next]; ok && r.opt.UseBlocks {
+			r.flush(r.next, false, "", false)
+			if err := r.runBlock(b); err != nil {
+				return err
+			}
+			continue
+		}
+		g := r.c.Gates[r.next]
+		gd := r.eng.GateDD(g.Matrix, r.c.NQubits, g.Target, g.Controls)
+		if r.accValid {
+			r.acc = r.eng.MulMat(gd, r.acc)
+			r.combined++
+		} else {
+			r.acc = gd
+			r.accValid = true
+			r.combined = 1
+		}
+		r.next++
+		opSz := -1
+		opSize := func() int {
+			if opSz < 0 {
+				opSz = r.eng.SizeM(r.acc)
+			}
+			return opSz
+		}
+		stateSize := func() int {
+			if r.stateSz < 0 {
+				r.stateSz = r.eng.SizeV(r.v)
+			}
+			return r.stateSz
+		}
+		if r.opt.Strategy.ShouldApply(r.combined, opSize, stateSize) {
+			r.flush(r.next, false, "", false)
+		}
+		r.maybeGC()
+	}
+	r.flush(r.next, false, "", false)
+	return nil
+}
+
+// flush applies the accumulated matrix (if any) to the state.
+func (r *runner) flush(gateIndex int, fromBlock bool, blockName string, reuse bool) {
+	if !r.accValid {
+		return
+	}
+	op := r.acc
+	combined := r.combined
+	r.accValid = false
+	r.combined = 0
+	r.applyOp(op, gateIndex, combined, fromBlock, blockName, reuse)
+}
+
+func (r *runner) applyOp(op dd.MEdge, gateIndex, combined int, fromBlock bool, blockName string, reuse bool) {
+	r.v = r.eng.MulVec(op, r.v)
+	r.stateSz = -1
+	r.eng.NoteMatrixSize(r.eng.SizeM(op))
+	if r.opt.RecordTrace {
+		r.trace = append(r.trace, TracePoint{
+			GateIndex:  gateIndex,
+			OpSize:     r.eng.SizeM(op),
+			StateSize:  r.eng.SizeV(r.v),
+			Combined:   combined,
+			FromBlock:  fromBlock,
+			BlockName:  blockName,
+			BlockReuse: reuse,
+		})
+	}
+}
+
+// blockIndex maps a block's start gate index to the block.
+func (r *runner) blockIndex() map[int]circuit.Block {
+	m := make(map[int]circuit.Block, len(r.c.Blocks))
+	for _, b := range r.c.Blocks {
+		m[b.Start] = b
+	}
+	return m
+}
+
+// runBlock executes a repeated block DD-repeating style: combine the
+// body once, then apply the same matrix Repeat times.
+func (r *runner) runBlock(b circuit.Block) error {
+	body := b.End - b.Start
+	mat, err := CombineGates(r.eng, r.c, b.Start, b.End)
+	if err != nil {
+		return err
+	}
+	r.blockMats = append(r.blockMats, mat)
+	for i := 0; i < b.Repeat; i++ {
+		if err := r.checkDeadline(); err != nil {
+			return err
+		}
+		end := b.Start + (i+1)*body
+		r.applyOp(mat, end, body, true, b.Name, i > 0)
+		r.maybeGC()
+	}
+	r.blockMats = r.blockMats[:len(r.blockMats)-1]
+	r.next = b.Start + b.Repeat*body
+	return nil
+}
+
+func (r *runner) checkDeadline() error {
+	if !r.opt.Deadline.IsZero() && time.Now().After(r.opt.Deadline) {
+		return ErrDeadlineExceeded
+	}
+	return nil
+}
+
+func (r *runner) maybeGC() {
+	if r.opt.GCThreshold < 0 {
+		return
+	}
+	if r.eng.VNodeCount()+r.eng.MNodeCount() <= r.opt.GCThreshold {
+		return
+	}
+	mroots := append([]dd.MEdge(nil), r.blockMats...)
+	if r.accValid {
+		mroots = append(mroots, r.acc)
+	}
+	r.eng.GarbageCollect([]dd.VEdge{r.v}, mroots)
+}
+
+// CombineGates multiplies gates [from, to) of c into a single operation
+// matrix (linear left fold: each gate is multiplied onto the
+// accumulated product in circuit order).
+func CombineGates(eng *dd.Engine, c *circuit.Circuit, from, to int) (dd.MEdge, error) {
+	if from < 0 || to > len(c.Gates) || from >= to {
+		return dd.MEdge{}, fmt.Errorf("core: CombineGates: invalid range [%d,%d) of %d gates", from, to, len(c.Gates))
+	}
+	g := c.Gates[from]
+	acc := eng.GateDD(g.Matrix, c.NQubits, g.Target, g.Controls)
+	for i := from + 1; i < to; i++ {
+		g = c.Gates[i]
+		gd := eng.GateDD(g.Matrix, c.NQubits, g.Target, g.Controls)
+		acc = eng.MulMat(gd, acc)
+	}
+	return acc, nil
+}
+
+// CombineGatesTree multiplies gates [from, to) as a balanced tree
+// instead of a linear fold: products of neighbouring gates are combined
+// pairwise, then pairs of pairs, and so on. Intermediate operands stay
+// small and symmetric, which can expose more node sharing than the
+// linear fold — the design-choice ablation benchmarked in
+// BenchmarkAblationCombineOrder.
+func CombineGatesTree(eng *dd.Engine, c *circuit.Circuit, from, to int) (dd.MEdge, error) {
+	if from < 0 || to > len(c.Gates) || from >= to {
+		return dd.MEdge{}, fmt.Errorf("core: CombineGatesTree: invalid range [%d,%d) of %d gates", from, to, len(c.Gates))
+	}
+	var build func(lo, hi int) dd.MEdge
+	build = func(lo, hi int) dd.MEdge {
+		if hi-lo == 1 {
+			g := c.Gates[lo]
+			return eng.GateDD(g.Matrix, c.NQubits, g.Target, g.Controls)
+		}
+		mid := lo + (hi-lo)/2
+		left := build(lo, mid)  // earlier gates
+		right := build(mid, hi) // later gates
+		return eng.MulMat(right, left)
+	}
+	return build(from, to), nil
+}
+
+// FullMatrix combines the entire circuit into one operation matrix
+// (Eq. 2 taken to the extreme).
+func FullMatrix(eng *dd.Engine, c *circuit.Circuit) (dd.MEdge, error) {
+	if len(c.Gates) == 0 {
+		return eng.Identity(c.NQubits), nil
+	}
+	return CombineGates(eng, c, 0, len(c.Gates))
+}

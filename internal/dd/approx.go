@@ -1,0 +1,218 @@
+package dd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cnum"
+)
+
+// Marginal returns the probability distribution over the given qubits
+// (in the order given: bit i of an outcome index corresponds to
+// qubits[i]), marginalising all others. Cost is O(2^len(qubits) ·
+// nodes) in the worst case; intended for small qubit subsets.
+func (e *Engine) Marginal(v VEdge, qubits []int) []float64 {
+	n := v.Qubits()
+	if len(qubits) > 20 {
+		panic(fmt.Sprintf("dd: Marginal over %d qubits would allocate 2^%d entries", len(qubits), len(qubits)))
+	}
+	pos := make(map[int]int, len(qubits)) // qubit -> outcome bit position
+	for i, q := range qubits {
+		if q < 0 || q >= n {
+			panic(fmt.Sprintf("dd: Marginal: qubit %d out of range for %d-qubit state", q, n))
+		}
+		if _, dup := pos[q]; dup {
+			panic(fmt.Sprintf("dd: Marginal: duplicate qubit %d", q))
+		}
+		pos[q] = i
+	}
+	out := make([]float64, 1<<uint(len(qubits)))
+	massMemo := make(map[*VNode]float64)
+
+	// The outcome distribution below a node is independent of the path
+	// taken to reach it, so memoisation on the node alone is sound.
+	memo := make(map[*VNode]map[uint64]float64)
+
+	// walk returns, for the sub-diagram under node, the map outcome →
+	// probability mass (relative; caller scales by |w|²).
+	var walk func(node *VNode) map[uint64]float64
+	walk = func(node *VNode) map[uint64]float64 {
+		if node == vTerminal {
+			return map[uint64]float64{0: 1}
+		}
+		if m, ok := memo[node]; ok {
+			return m
+		}
+		res := map[uint64]float64{}
+		bitPos, tracked := pos[int(node.V)]
+		for b := 0; b < 2; b++ {
+			c := node.E[b]
+			if c.W == 0 {
+				continue
+			}
+			w2 := cnum.Abs2(c.W)
+			var sub map[uint64]float64
+			if !trackedBelow(node, pos) {
+				// No tracked qubits below: collapse to total mass.
+				sub = map[uint64]float64{0: mass(c.N, massMemo)}
+			} else {
+				sub = walk(c.N)
+			}
+			for o, p := range sub {
+				oo := o
+				if tracked && b == 1 {
+					oo |= 1 << uint(bitPos)
+				}
+				res[oo] += w2 * p
+			}
+		}
+		memo[node] = res
+		return res
+	}
+	top := walk(v.N)
+	w2 := cnum.Abs2(v.W)
+	for o, p := range top {
+		out[o] += w2 * p
+	}
+	return out
+}
+
+// trackedBelow reports whether any tracked qubit lies at or below the
+// node's level (levels run 0..V, so a tracked qubit q ≤ V qualifies).
+func trackedBelow(node *VNode, pos map[int]int) bool {
+	for q := range pos {
+		if q <= int(node.V) {
+			return true
+		}
+	}
+	return false
+}
+
+// ApproxResult reports an approximation outcome.
+type ApproxResult struct {
+	State    VEdge
+	Fidelity float64 // |<approx|original>|²
+	Removed  int     // nodes cut
+}
+
+// Approximate reduces the state DD to at most maxNodes nodes by cutting
+// the lowest-probability-mass edges and renormalising — the size/
+// accuracy trade-off studied in the DD approximation literature
+// (Zulehner et al.). The returned fidelity quantifies the damage; the
+// original state is untouched. maxNodes must be at least the qubit
+// count (a product state cannot be smaller).
+func (e *Engine) Approximate(v VEdge, maxNodes int) (ApproxResult, error) {
+	n := v.Qubits()
+	if maxNodes < n {
+		return ApproxResult{}, fmt.Errorf("dd: Approximate: budget %d below qubit count %d", maxNodes, n)
+	}
+	size := e.SizeV(v)
+	if size <= maxNodes {
+		return ApproxResult{State: v, Fidelity: 1}, nil
+	}
+
+	// Rank every edge by the probability mass that flows through it
+	// (upstream amplitude² × downstream mass), then zero edges from the
+	// least significant up until the rebuild fits the budget.
+	massMemo := make(map[*VNode]float64)
+	type edgeRef struct {
+		node *VNode
+		side int
+		flow float64
+	}
+	var edges []edgeRef
+	up := map[*VNode]float64{v.N: cnum.Abs2(v.W)}
+	queue := []*VNode{v.N}
+	seen := map[*VNode]bool{v.N: true}
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		for s := 0; s < 2; s++ {
+			c := node.E[s]
+			if c.W == 0 {
+				continue
+			}
+			flow := up[node] * cnum.Abs2(c.W) * mass(c.N, massMemo)
+			edges = append(edges, edgeRef{node: node, side: s, flow: flow})
+			if c.N != vTerminal {
+				up[c.N] += up[node] * cnum.Abs2(c.W)
+				if !seen[c.N] {
+					seen[c.N] = true
+					queue = append(queue, c.N)
+				}
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].flow < edges[j].flow })
+
+	cut := map[[2]uintptrish]bool{}
+	removedMass := 0.0
+	result := v
+	removed := 0
+	for _, er := range edges {
+		if e.SizeV(result) <= maxNodes {
+			break
+		}
+		// Never cut the last remaining edge mass.
+		if removedMass+er.flow >= 0.999 {
+			continue
+		}
+		cut[[2]uintptrish{uintptrish(er.node.id), uintptrish(er.side)}] = true
+		removedMass += er.flow
+		rebuilt := e.rebuildWithCuts(v, cut)
+		if rebuilt.IsZero() {
+			delete(cut, [2]uintptrish{uintptrish(er.node.id), uintptrish(er.side)})
+			removedMass -= er.flow
+			continue
+		}
+		result = rebuilt
+		removed++
+	}
+	if norm := result.Norm(); norm < cnum.Tol {
+		return ApproxResult{}, fmt.Errorf("dd: Approximate: state collapsed to zero")
+	}
+	result = e.Normalize(result)
+	fid := e.Fidelity(result, v)
+	return ApproxResult{State: result, Fidelity: fid, Removed: removed}, nil
+}
+
+type uintptrish uint64
+
+// rebuildWithCuts reconstructs the diagram with the selected edges
+// zeroed.
+func (e *Engine) rebuildWithCuts(v VEdge, cut map[[2]uintptrish]bool) VEdge {
+	memo := make(map[*VNode]VEdge)
+	var rec func(node *VNode) VEdge
+	rec = func(node *VNode) VEdge {
+		if node == vTerminal {
+			return VOne()
+		}
+		if r, ok := memo[node]; ok {
+			return r
+		}
+		var es [2]VEdge
+		for s := 0; s < 2; s++ {
+			if cut[[2]uintptrish{uintptrish(node.id), uintptrish(s)}] || node.E[s].W == 0 {
+				es[s] = VZero()
+				continue
+			}
+			sub := rec(node.E[s].N)
+			es[s] = e.scaleV(sub, node.E[s].W)
+		}
+		r := e.makeVNode(node.V, es[0], es[1])
+		memo[node] = r
+		return r
+	}
+	out := rec(v.N)
+	return e.scaleV(out, v.W)
+}
+
+// FidelityBound returns 1 - mass(cuts) as a quick lower bound estimate
+// for the fidelity after removing the given probability mass.
+func FidelityBound(removedMass float64) float64 {
+	if removedMass >= 1 {
+		return 0
+	}
+	return math.Max(0, 1-removedMass)
+}

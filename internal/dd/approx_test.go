@@ -1,0 +1,187 @@
+package dd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnum"
+)
+
+func TestMarginalSingleQubitMatchesProb(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(5)
+		v := e.FromVector(randState(rng, n))
+		for q := 0; q < n; q++ {
+			m := e.Marginal(v, []int{q})
+			if math.Abs(m[0]-v.Prob(q, 0)) > 1e-9 || math.Abs(m[1]-v.Prob(q, 1)) > 1e-9 {
+				t.Fatalf("marginal over {%d} = %v, Prob = (%v, %v)", q, m, v.Prob(q, 0), v.Prob(q, 1))
+			}
+		}
+	}
+}
+
+func TestMarginalAllQubitsMatchesProbabilities(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(2))
+	n := 5
+	v := e.FromVector(randState(rng, n))
+	qs := make([]int, n)
+	for i := range qs {
+		qs[i] = i
+	}
+	m := e.Marginal(v, qs)
+	want := v.Probabilities()
+	for i := range want {
+		if math.Abs(m[i]-want[i]) > 1e-9 {
+			t.Fatalf("full marginal[%d] = %v, want %v", i, m[i], want[i])
+		}
+	}
+}
+
+func TestMarginalSubsetAgainstDense(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(4)
+		amps := randState(rng, n)
+		v := e.FromVector(amps)
+		// Random 2-qubit subset, possibly reordered.
+		q1 := rng.Intn(n)
+		q2 := (q1 + 1 + rng.Intn(n-1)) % n
+		m := e.Marginal(v, []int{q1, q2})
+		want := make([]float64, 4)
+		for idx, a := range amps {
+			o := uint64(idx)>>uint(q1)&1 | (uint64(idx)>>uint(q2)&1)<<1
+			want[o] += cnum.Abs2(a)
+		}
+		for o := range want {
+			if math.Abs(m[o]-want[o]) > 1e-9 {
+				t.Fatalf("marginal over {%d,%d}: entry %d = %v, want %v", q1, q2, o, m[o], want[o])
+			}
+		}
+	}
+}
+
+func TestMarginalSumsToOne(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(4))
+	v := e.FromVector(randState(rng, 6))
+	m := e.Marginal(v, []int{1, 3, 5})
+	var sum float64
+	for _, p := range m {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("marginal sums to %v", sum)
+	}
+}
+
+func TestMarginalPanics(t *testing.T) {
+	e := New()
+	v := e.ZeroState(3)
+	mustPanic(t, func() { e.Marginal(v, []int{5}) })
+	mustPanic(t, func() { e.Marginal(v, []int{1, 1}) })
+}
+
+func TestApproximateNoOpWithinBudget(t *testing.T) {
+	e := New()
+	v := e.ZeroState(6)
+	res, err := e.Approximate(v, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity != 1 || res.Removed != 0 || res.State.N != v.N {
+		t.Fatalf("no-op approximation changed the state: %+v", res)
+	}
+}
+
+func TestApproximateShrinksAndReportsFidelity(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(5))
+	// A random dense state has an exponentially large DD; cut it down.
+	n := 8
+	v := e.FromVector(randState(rng, n))
+	full := e.SizeV(v)
+	budget := full / 2
+	if budget < n {
+		budget = n
+	}
+	res, err := e.Approximate(v, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SizeV(res.State); got > budget {
+		t.Fatalf("approximation size %d exceeds budget %d", got, budget)
+	}
+	if res.Fidelity <= 0 || res.Fidelity > 1+1e-9 {
+		t.Fatalf("fidelity %v out of range", res.Fidelity)
+	}
+	// The cut edges were chosen by lowest mass: fidelity should remain
+	// substantial when halving a random state's DD.
+	if res.Fidelity < 0.5 {
+		t.Fatalf("fidelity %v suspiciously low", res.Fidelity)
+	}
+	// Check the reported fidelity is the true overlap.
+	if math.Abs(res.Fidelity-e.Fidelity(res.State, v)) > 1e-9 {
+		t.Fatalf("reported fidelity inconsistent")
+	}
+	if math.Abs(res.State.Norm()-1) > 1e-9 {
+		t.Fatalf("approximated state not normalised: %v", res.State.Norm())
+	}
+}
+
+func TestApproximateConcentratedState(t *testing.T) {
+	// A state that is "almost" a basis state: approximation to the
+	// minimum budget must keep the dominant amplitude.
+	e := New()
+	n := 6
+	amps := make([]complex128, 1<<uint(n))
+	amps[5] = complex(math.Sqrt(0.97), 0)
+	rng := rand.New(rand.NewSource(6))
+	var rest float64
+	for i := range amps {
+		if i == 5 {
+			continue
+		}
+		x := rng.NormFloat64()
+		amps[i] = complex(x, 0)
+		rest += x * x
+	}
+	scale := complex(math.Sqrt(0.03/rest), 0)
+	for i := range amps {
+		if i != 5 {
+			amps[i] *= scale
+		}
+	}
+	v := e.FromVector(amps)
+	res, err := e.Approximate(v, n+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity < 0.9 {
+		t.Fatalf("fidelity %v — dominant amplitude lost", res.Fidelity)
+	}
+	if p := cnum.Abs2(res.State.Amplitude(5)); p < 0.9 {
+		t.Fatalf("dominant amplitude reduced to %v", p)
+	}
+}
+
+func TestApproximateErrors(t *testing.T) {
+	e := New()
+	v := e.ZeroState(5)
+	if _, err := e.Approximate(v, 3); err == nil {
+		t.Fatal("budget below qubit count accepted")
+	}
+}
+
+func TestFidelityBound(t *testing.T) {
+	if FidelityBound(0) != 1 || FidelityBound(1.5) != 0 {
+		t.Fatal("bounds wrong")
+	}
+	if got := FidelityBound(0.25); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("FidelityBound(0.25) = %v", got)
+	}
+}

@@ -1,0 +1,356 @@
+package dd
+
+import (
+	"fmt"
+
+	"repro/internal/cnum"
+)
+
+// Add returns the element-wise sum of two vector diagrams (Fig. 4 of the
+// paper). Both operands must span the same variables.
+func (e *Engine) Add(a, b VEdge) VEdge {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() {
+		return a
+	}
+	return e.addV(a, b)
+}
+
+func (e *Engine) addV(a, b VEdge) VEdge {
+	e.checkDeadline()
+	e.stats.AddRecursions++
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() {
+		return a
+	}
+	if a.N == b.N {
+		w := e.weights.Lookup(a.W + b.W)
+		if w == cnum.Zero {
+			return VZero()
+		}
+		return VEdge{W: w, N: a.N}
+	}
+	if a.IsTerminal() && b.IsTerminal() {
+		w := e.weights.Lookup(a.W + b.W)
+		if w == cnum.Zero {
+			return VZero()
+		}
+		return VEdge{W: w, N: vTerminal}
+	}
+	if a.N.V != b.N.V {
+		panic(fmt.Sprintf("dd: Add on mismatched levels %d vs %d", a.N.V, b.N.V))
+	}
+	// Canonical operand order: addition commutes.
+	if a.N.id > b.N.id {
+		a, b = b, a
+	}
+	aW := e.weights.Lookup(a.W)
+	bW := e.weights.Lookup(b.W)
+	idx := mixW(mixW(mix(a.N.id, b.N.id), aW), bW)
+	e.stats.CacheLookups++
+	if s := &e.addVCache()[idx]; s.ok && s.aN == a.N.id && s.bN == b.N.id && s.aW == aW && s.bW == bW {
+		e.stats.CacheHits++
+		return s.r
+	}
+	var children [2]VEdge
+	for i := 0; i < 2; i++ {
+		ca := VEdge{W: aW * a.N.E[i].W, N: a.N.E[i].N}
+		cb := VEdge{W: bW * b.N.E[i].W, N: b.N.E[i].N}
+		children[i] = e.addV(ca, cb)
+	}
+	r := e.makeVNode(a.N.V, children[0], children[1])
+	e.addVCache()[idx] = addVSlot{aN: a.N.id, bN: b.N.id, aW: aW, bW: bW, r: r, ok: true}
+	return r
+}
+
+// AddM returns the element-wise sum of two matrix diagrams.
+func (e *Engine) AddM(a, b MEdge) MEdge {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() {
+		return a
+	}
+	return e.addM(a, b)
+}
+
+func (e *Engine) addM(a, b MEdge) MEdge {
+	e.checkDeadline()
+	e.stats.AddRecursions++
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() {
+		return a
+	}
+	if a.N == b.N {
+		w := e.weights.Lookup(a.W + b.W)
+		if w == cnum.Zero {
+			return MZero()
+		}
+		return MEdge{W: w, N: a.N}
+	}
+	if a.IsTerminal() && b.IsTerminal() {
+		w := e.weights.Lookup(a.W + b.W)
+		if w == cnum.Zero {
+			return MZero()
+		}
+		return MEdge{W: w, N: mTerminal}
+	}
+	if a.N.V != b.N.V {
+		panic(fmt.Sprintf("dd: AddM on mismatched levels %d vs %d", a.N.V, b.N.V))
+	}
+	if a.N.id > b.N.id {
+		a, b = b, a
+	}
+	aW := e.weights.Lookup(a.W)
+	bW := e.weights.Lookup(b.W)
+	idx := mixW(mixW(mix(a.N.id, b.N.id), aW), bW)
+	e.stats.CacheLookups++
+	if s := &e.addMCache()[idx]; s.ok && s.aN == a.N.id && s.bN == b.N.id && s.aW == aW && s.bW == bW {
+		e.stats.CacheHits++
+		return s.r
+	}
+	var children [4]MEdge
+	for i := 0; i < 4; i++ {
+		ca := MEdge{W: aW * a.N.E[i].W, N: a.N.E[i].N}
+		cb := MEdge{W: bW * b.N.E[i].W, N: b.N.E[i].N}
+		children[i] = e.addM(ca, cb)
+	}
+	r := e.makeMNode(a.N.V, children)
+	e.addMCache()[idx] = addMSlot{aN: a.N.id, bN: b.N.id, aW: aW, bW: bW, r: r, ok: true}
+	return r
+}
+
+// MulVec returns the matrix-vector product m×v (Fig. 3 of the paper, a
+// single "simulation step"). The operands must span the same variables.
+func (e *Engine) MulVec(m MEdge, v VEdge) VEdge {
+	e.stats.MatVecMuls++
+	return e.mulVec(m, v)
+}
+
+func (e *Engine) mulVec(m MEdge, v VEdge) VEdge {
+	e.checkDeadline()
+	e.stats.MulRecursions++
+	if m.IsZero() || v.IsZero() {
+		return VZero()
+	}
+	// Top weights factor out multiplicatively: cache on nodes only.
+	w := e.weights.Lookup(m.W * v.W)
+	if m.IsTerminal() { // then v is terminal too (same span)
+		return VEdge{W: w, N: vTerminal}
+	}
+	if m.N.V != v.N.V {
+		panic(fmt.Sprintf("dd: MulVec on mismatched levels %d vs %d", m.N.V, v.N.V))
+	}
+	idx := mix(m.N.id, v.N.id)
+	e.stats.CacheLookups++
+	if s := &e.mulMVCache()[idx]; s.ok && s.m == m.N.id && s.v == v.N.id {
+		e.stats.CacheHits++
+		return e.scaleV(s.r, w)
+	}
+	var children [2]VEdge
+	for row := 0; row < 2; row++ {
+		var sum VEdge = VZero()
+		for col := 0; col < 2; col++ {
+			p := e.mulVec(m.N.E[2*row+col], v.N.E[col])
+			sum = e.addV(sum, p)
+		}
+		children[row] = sum
+	}
+	r := e.makeVNode(m.N.V, children[0], children[1])
+	e.mulMVCache()[idx] = mulMVSlot{m: m.N.id, v: v.N.id, r: r, ok: true}
+	return e.scaleV(r, w)
+}
+
+// MulMat returns the matrix-matrix product a×b (a applied after b, i.e.
+// (a×b)·x == a·(b·x)). This is the operation the paper's combination
+// strategies spend to save matrix-vector multiplications.
+func (e *Engine) MulMat(a, b MEdge) MEdge {
+	e.stats.MatMatMuls++
+	return e.mulMat(a, b)
+}
+
+func (e *Engine) mulMat(a, b MEdge) MEdge {
+	e.checkDeadline()
+	e.stats.MulRecursions++
+	if a.IsZero() || b.IsZero() {
+		return MZero()
+	}
+	w := e.weights.Lookup(a.W * b.W)
+	if a.IsTerminal() {
+		return MEdge{W: w, N: mTerminal}
+	}
+	if a.N.V != b.N.V {
+		panic(fmt.Sprintf("dd: MulMat on mismatched levels %d vs %d", a.N.V, b.N.V))
+	}
+	idx := mix(a.N.id, b.N.id)
+	e.stats.CacheLookups++
+	if s := &e.mulMMCache()[idx]; s.ok && s.a == a.N.id && s.b == b.N.id {
+		e.stats.CacheHits++
+		return e.scaleM(s.r, w)
+	}
+	var children [4]MEdge
+	for row := 0; row < 2; row++ {
+		for col := 0; col < 2; col++ {
+			var sum MEdge = MZero()
+			for k := 0; k < 2; k++ {
+				p := e.mulMat(a.N.E[2*row+k], b.N.E[2*k+col])
+				sum = e.addM(sum, p)
+			}
+			children[2*row+col] = sum
+		}
+	}
+	r := e.makeMNode(a.N.V, children)
+	e.mulMMCache()[idx] = mulMMSlot{a: a.N.id, b: b.N.id, r: r, ok: true}
+	return e.scaleM(r, w)
+}
+
+// scaleV multiplies a vector edge by a scalar.
+func (e *Engine) scaleV(v VEdge, w complex128) VEdge {
+	if w == cnum.One {
+		return v
+	}
+	nw := e.weights.Lookup(v.W * w)
+	if nw == cnum.Zero {
+		return VZero()
+	}
+	return VEdge{W: nw, N: v.N}
+}
+
+// scaleM multiplies a matrix edge by a scalar.
+func (e *Engine) scaleM(m MEdge, w complex128) MEdge {
+	if w == cnum.One {
+		return m
+	}
+	nw := e.weights.Lookup(m.W * w)
+	if nw == cnum.Zero {
+		return MZero()
+	}
+	return MEdge{W: nw, N: m.N}
+}
+
+// ScaleV multiplies a vector diagram by a scalar.
+func (e *Engine) ScaleV(v VEdge, w complex128) VEdge { return e.scaleV(v, w) }
+
+// ScaleM multiplies a matrix diagram by a scalar.
+func (e *Engine) ScaleM(m MEdge, w complex128) MEdge { return e.scaleM(m, w) }
+
+// KronV stacks the diagram hi on top of lo: the result represents
+// hi ⊗ lo, with hi's variables re-labelled above lo's.
+func (e *Engine) KronV(hi, lo VEdge) VEdge {
+	shift := int32(lo.Qubits())
+	return e.kronV(hi, lo, shift)
+}
+
+func (e *Engine) kronV(hi, lo VEdge, shift int32) VEdge {
+	if hi.IsZero() || lo.IsZero() {
+		return VZero()
+	}
+	if hi.IsTerminal() {
+		return e.scaleV(lo, hi.W)
+	}
+	e0 := e.kronV(hi.N.E[0], lo, shift)
+	e1 := e.kronV(hi.N.E[1], lo, shift)
+	r := e.makeVNode(hi.N.V+shift, e0, e1)
+	return e.scaleV(r, hi.W)
+}
+
+// KronM stacks the matrix diagram hi on top of lo, yielding hi ⊗ lo.
+func (e *Engine) KronM(hi, lo MEdge) MEdge {
+	shift := int32(lo.Qubits())
+	return e.kronM(hi, lo, shift)
+}
+
+func (e *Engine) kronM(hi, lo MEdge, shift int32) MEdge {
+	if hi.IsZero() || lo.IsZero() {
+		return MZero()
+	}
+	if hi.IsTerminal() {
+		return e.scaleM(lo, hi.W)
+	}
+	var children [4]MEdge
+	for i := range children {
+		children[i] = e.kronM(hi.N.E[i], lo, shift)
+	}
+	r := e.makeMNode(hi.N.V+shift, children)
+	return e.scaleM(r, hi.W)
+}
+
+// ConjTranspose returns the conjugate transpose (adjoint) of m.
+func (e *Engine) ConjTranspose(m MEdge) MEdge {
+	if m.IsZero() {
+		return m
+	}
+	if m.IsTerminal() {
+		return MEdge{W: conj(m.W), N: mTerminal}
+	}
+	var children [4]MEdge
+	children[0] = e.ConjTranspose(m.N.E[0])
+	children[1] = e.ConjTranspose(m.N.E[2]) // swap off-diagonal quadrants
+	children[2] = e.ConjTranspose(m.N.E[1])
+	children[3] = e.ConjTranspose(m.N.E[3])
+	r := e.makeMNode(m.N.V, children)
+	return e.scaleM(r, conj(m.W))
+}
+
+func conj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+// InnerProduct returns <a|b> = Σ_i conj(a_i)·b_i.
+func (e *Engine) InnerProduct(a, b VEdge) complex128 {
+	memo := make(map[[2]*VNode]complex128)
+	var rec func(a, b VEdge) complex128
+	rec = func(a, b VEdge) complex128 {
+		if a.IsZero() || b.IsZero() {
+			return 0
+		}
+		w := conj(a.W) * b.W
+		if a.IsTerminal() {
+			return w
+		}
+		k := [2]*VNode{a.N, b.N}
+		sub, ok := memo[k]
+		if !ok {
+			sub = rec(a.N.E[0], b.N.E[0]) + rec(a.N.E[1], b.N.E[1])
+			memo[k] = sub
+		}
+		return w * sub
+	}
+	return rec(a, b)
+}
+
+// Fidelity returns |<a|b>|² for two (normalised) states.
+func (e *Engine) Fidelity(a, b VEdge) float64 {
+	return cnum.Abs2(e.InnerProduct(a, b))
+}
+
+// Cache accessors (indirection keeps the hot slices in one place and the
+// arithmetic code uniform).
+func (e *Engine) addVCache() []addVSlot   { return e.addVTab }
+func (e *Engine) addMCache() []addMSlot   { return e.addMTab }
+func (e *Engine) mulMVCache() []mulMVSlot { return e.mulMVTab }
+func (e *Engine) mulMMCache() []mulMMSlot { return e.mulMMTab }
+
+// Trace returns the trace of the matrix diagram (sum of diagonal
+// entries) in O(nodes) via memoised recursion — the primitive behind
+// equivalence checking of combined operation matrices.
+func (e *Engine) Trace(m MEdge) complex128 {
+	memo := make(map[*MNode]complex128)
+	var rec func(n *MNode) complex128
+	rec = func(n *MNode) complex128 {
+		if n == mTerminal {
+			return 1
+		}
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		v := n.E[0].W*rec(n.E[0].N) + n.E[3].W*rec(n.E[3].N)
+		memo[n] = v
+		return v
+	}
+	return m.W * rec(m.N)
+}

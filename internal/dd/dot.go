@@ -1,0 +1,220 @@
+package dd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DotV writes the vector diagram in Graphviz DOT format — the picture
+// the paper's Fig. 2 draws: one rank per qubit, solid edges for the
+// |1> successor, dashed for |0>, weights as edge labels (1-weights
+// omitted, zero stubs drawn as points).
+func DotV(w io.Writer, v VEdge, title string) error {
+	var sb strings.Builder
+	sb.WriteString("digraph vectordd {\n")
+	if title != "" {
+		fmt.Fprintf(&sb, "  label=%q;\n", title)
+	}
+	sb.WriteString("  node [shape=circle fixedsize=true width=0.45];\n")
+	sb.WriteString("  root [shape=point];\n")
+
+	ids := map[*VNode]int{}
+	var order []*VNode
+	var collect func(n *VNode)
+	collect = func(n *VNode) {
+		if n == vTerminal {
+			return
+		}
+		if _, ok := ids[n]; ok {
+			return
+		}
+		ids[n] = len(ids)
+		order = append(order, n)
+		collect(n.E[0].N)
+		collect(n.E[1].N)
+	}
+	collect(v.N)
+
+	sb.WriteString("  term [shape=box label=\"1\"];\n")
+	for _, n := range order {
+		fmt.Fprintf(&sb, "  n%d [label=\"q%d\"];\n", ids[n], n.V)
+	}
+	zeroStubs := 0
+	edge := func(from string, e VEdge, dashed bool) {
+		style := ""
+		if dashed {
+			style = " style=dashed"
+		}
+		if e.W == 0 {
+			fmt.Fprintf(&sb, "  z%d [shape=point label=\"\"];\n", zeroStubs)
+			fmt.Fprintf(&sb, "  %s -> z%d [label=\"0\"%s];\n", from, zeroStubs, style)
+			zeroStubs++
+			return
+		}
+		to := "term"
+		if e.N != vTerminal {
+			to = fmt.Sprintf("n%d", ids[e.N])
+		}
+		fmt.Fprintf(&sb, "  %s -> %s [label=%q%s];\n", from, to, weightLabel(e.W), style)
+	}
+
+	fmt.Fprintf(&sb, "  root -> %s [label=%q];\n", nodeName(v, ids), weightLabel(v.W))
+	for _, n := range order {
+		from := fmt.Sprintf("n%d", ids[n])
+		edge(from, n.E[0], true)
+		edge(from, n.E[1], false)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// DotM writes the matrix diagram in DOT format (four successors per
+// node, labelled by quadrant).
+func DotM(w io.Writer, m MEdge, title string) error {
+	var sb strings.Builder
+	sb.WriteString("digraph matrixdd {\n")
+	if title != "" {
+		fmt.Fprintf(&sb, "  label=%q;\n", title)
+	}
+	sb.WriteString("  node [shape=circle fixedsize=true width=0.45];\n")
+	sb.WriteString("  root [shape=point];\n")
+
+	ids := map[*MNode]int{}
+	var order []*MNode
+	var collect func(n *MNode)
+	collect = func(n *MNode) {
+		if n == mTerminal {
+			return
+		}
+		if _, ok := ids[n]; ok {
+			return
+		}
+		ids[n] = len(ids)
+		order = append(order, n)
+		for i := range n.E {
+			collect(n.E[i].N)
+		}
+	}
+	collect(m.N)
+
+	sb.WriteString("  term [shape=box label=\"1\"];\n")
+	for _, n := range order {
+		fmt.Fprintf(&sb, "  n%d [label=\"q%d\"];\n", ids[n], n.V)
+	}
+	quadrant := []string{"00", "01", "10", "11"}
+	zeroStubs := 0
+	rootTo := "term"
+	if m.N != mTerminal {
+		rootTo = fmt.Sprintf("n%d", ids[m.N])
+	}
+	fmt.Fprintf(&sb, "  root -> %s [label=%q];\n", rootTo, weightLabel(m.W))
+	for _, n := range order {
+		from := fmt.Sprintf("n%d", ids[n])
+		for i := range n.E {
+			e := n.E[i]
+			if e.W == 0 {
+				fmt.Fprintf(&sb, "  mz%d [shape=point label=\"\"];\n", zeroStubs)
+				fmt.Fprintf(&sb, "  %s -> mz%d [label=\"%s:0\"];\n", from, zeroStubs, quadrant[i])
+				zeroStubs++
+				continue
+			}
+			to := "term"
+			if e.N != mTerminal {
+				to = fmt.Sprintf("n%d", ids[e.N])
+			}
+			fmt.Fprintf(&sb, "  %s -> %s [label=\"%s:%s\"];\n", from, to, quadrant[i], weightLabel(e.W))
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func nodeName(v VEdge, ids map[*VNode]int) string {
+	if v.N == vTerminal {
+		return "term"
+	}
+	return fmt.Sprintf("n%d", ids[v.N])
+}
+
+// weightLabel renders an edge weight compactly ("1" suppressed to ""
+// everywhere but the root edge would lose information, so it is kept).
+func weightLabel(w complex128) string {
+	re, im := real(w), imag(w)
+	switch {
+	case im == 0:
+		return trimFloat(re)
+	case re == 0:
+		return trimFloat(im) + "i"
+	default:
+		s := trimFloat(im)
+		if !strings.HasPrefix(s, "-") {
+			s = "+" + s
+		}
+		return trimFloat(re) + s + "i"
+	}
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.4g", f)
+	return s
+}
+
+// NodesByLevel returns the node count per variable level — the size
+// profile plotted qualitatively in the paper's Fig. 5.
+func (e VEdge) NodesByLevel() map[int]int {
+	out := map[int]int{}
+	seen := map[*VNode]bool{}
+	var walk func(n *VNode)
+	walk = func(n *VNode) {
+		if n == vTerminal || seen[n] {
+			return
+		}
+		seen[n] = true
+		out[int(n.V)]++
+		walk(n.E[0].N)
+		walk(n.E[1].N)
+	}
+	walk(e.N)
+	return out
+}
+
+// NodesByLevel returns the node count per variable level.
+func (e MEdge) NodesByLevel() map[int]int {
+	out := map[int]int{}
+	seen := map[*MNode]bool{}
+	var walk func(n *MNode)
+	walk = func(n *MNode) {
+		if n == mTerminal || seen[n] {
+			return
+		}
+		seen[n] = true
+		out[int(n.V)]++
+		for i := range n.E {
+			walk(n.E[i].N)
+		}
+	}
+	walk(e.N)
+	return out
+}
+
+// LevelProfile renders a NodesByLevel map as a compact one-line string
+// (top level first), for logging and the ddsim -trace output.
+func LevelProfile(profile map[int]int) string {
+	if len(profile) == 0 {
+		return "[]"
+	}
+	levels := make([]int, 0, len(profile))
+	for l := range profile {
+		levels = append(levels, l)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+	parts := make([]string, 0, len(levels))
+	for _, l := range levels {
+		parts = append(parts, fmt.Sprintf("q%d:%d", l, profile[l]))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

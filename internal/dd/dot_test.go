@@ -1,0 +1,91 @@
+package dd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDotVWellFormed(t *testing.T) {
+	e := New()
+	v := e.MulVec(e.GateDD(gH, 3, 0, nil), e.ZeroState(3))
+	v = e.MulVec(e.GateDD(gX, 3, 2, []Control{Pos(0)}), v)
+	var sb strings.Builder
+	if err := DotV(&sb, v, "test state"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph vectordd", "test state", "q2", "q0", "term", "->"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatal("unbalanced braces in DOT output")
+	}
+}
+
+func TestDotVZeroStubs(t *testing.T) {
+	e := New()
+	v := e.BasisState(2, 2)
+	var sb strings.Builder
+	if err := DotV(&sb, v, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "shape=point") {
+		t.Fatal("zero stubs not drawn as points")
+	}
+}
+
+func TestDotMWellFormed(t *testing.T) {
+	e := New()
+	m := e.GateDD(gX, 2, 1, []Control{Pos(0)})
+	var sb strings.Builder
+	if err := DotM(&sb, m, "cx"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph matrixdd", "00:", "11:", "term"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWeightLabel(t *testing.T) {
+	cases := map[complex128]string{
+		complex(1, 0):    "1",
+		complex(-0.5, 0): "-0.5",
+		complex(0, 1):    "1i",
+		complex(0, -1):   "-1i",
+		complex(0.5, .5): "0.5+0.5i",
+		complex(.5, -.5): "0.5-0.5i",
+	}
+	for in, want := range cases {
+		if got := weightLabel(in); got != want {
+			t.Errorf("weightLabel(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNodesByLevel(t *testing.T) {
+	e := New()
+	v := e.ZeroState(4)
+	profile := v.NodesByLevel()
+	for q := 0; q < 4; q++ {
+		if profile[q] != 1 {
+			t.Fatalf("level %d has %d nodes, want 1", q, profile[q])
+		}
+	}
+	m := e.Identity(3)
+	mp := m.NodesByLevel()
+	if len(mp) != 3 {
+		t.Fatalf("identity profile %v", mp)
+	}
+	s := LevelProfile(profile)
+	if !strings.HasPrefix(s, "[q3:1") {
+		t.Fatalf("LevelProfile = %q", s)
+	}
+	if LevelProfile(nil) != "[]" {
+		t.Fatal("empty profile")
+	}
+}

@@ -1,0 +1,396 @@
+package dd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cnum"
+)
+
+// Engine owns the unique tables, compute caches and the complex-value
+// table of one simulation. Diagrams from different engines must not be
+// mixed. An Engine is not safe for concurrent use.
+type Engine struct {
+	weights cnum.Table
+
+	vUnique map[vKey]*VNode
+	mUnique map[mKey]*MNode
+	nextID  uint32
+
+	// Identity diagrams by span: identity[k] covers variables 0..k-1.
+	identity []MEdge
+
+	addVTab  []addVSlot
+	addMTab  []addMSlot
+	mulMVTab []mulMVSlot
+	mulMMTab []mulMMSlot
+
+	deadline      time.Time
+	deadlineTicks uint32
+
+	// epoch stamps node marks during SizeV/SizeM traversals so repeated
+	// size queries (the max-size strategy runs one per gate) need no
+	// per-call visited set.
+	epoch uint32
+
+	stats Stats
+}
+
+// bumpEpoch advances the traversal epoch, clearing all marks on the
+// (astronomically rare) wrap-around so stale marks can never alias.
+func (e *Engine) bumpEpoch() {
+	if e.epoch == math.MaxUint32 {
+		for _, n := range e.vUnique {
+			n.mark = 0
+		}
+		for _, n := range e.mUnique {
+			n.mark = 0
+		}
+		e.epoch = 0
+	}
+	e.epoch++
+}
+
+// SizeV counts the distinct non-terminal nodes under e using the
+// engine's traversal epoch — allocation-free, unlike VEdge.Size.
+// Only valid for diagrams owned by this engine.
+func (e *Engine) SizeV(v VEdge) int {
+	e.bumpEpoch()
+	return e.sizeV(v.N)
+}
+
+func (e *Engine) sizeV(n *VNode) int {
+	if n == vTerminal || n.mark == e.epoch {
+		return 0
+	}
+	n.mark = e.epoch
+	return 1 + e.sizeV(n.E[0].N) + e.sizeV(n.E[1].N)
+}
+
+// SizeM counts the distinct non-terminal nodes under e; see SizeV.
+func (e *Engine) SizeM(m MEdge) int {
+	e.bumpEpoch()
+	return e.sizeM(m.N)
+}
+
+func (e *Engine) sizeM(n *MNode) int {
+	if n == mTerminal || n.mark == e.epoch {
+		return 0
+	}
+	n.mark = e.epoch
+	s := 1
+	for i := range n.E {
+		s += e.sizeM(n.E[i].N)
+	}
+	return s
+}
+
+// ErrDeadlineExceeded is the value carried by the panic an Engine
+// raises when a deadline set via SetDeadline expires mid-operation.
+// Use AbortedByDeadline to classify recovered panics.
+var ErrDeadlineExceeded = errors.New("dd: engine deadline exceeded")
+
+// deadlineError wraps ErrDeadlineExceeded so recover() handlers can
+// distinguish deadline aborts from genuine bugs.
+type deadlineError struct{}
+
+func (deadlineError) Error() string { return ErrDeadlineExceeded.Error() }
+
+// AbortedByDeadline reports whether a recovered panic value is an
+// engine deadline abort.
+func AbortedByDeadline(recovered any) bool {
+	_, ok := recovered.(deadlineError)
+	return ok
+}
+
+// SetDeadline arms a wall-clock deadline checked inside the arithmetic
+// recursions (every few thousand steps). When it expires, the running
+// operation panics with a value recognised by AbortedByDeadline;
+// callers recover it and surface an error. A zero time disarms the
+// deadline. The engine's tables remain consistent after an abort —
+// partially built nodes are already canonical.
+func (e *Engine) SetDeadline(t time.Time) { e.deadline = t }
+
+// checkDeadline is called from the hot recursion paths; the tick
+// counter keeps the time syscall off the common path.
+func (e *Engine) checkDeadline() {
+	if e.deadline.IsZero() {
+		return
+	}
+	e.deadlineTicks++
+	if e.deadlineTicks&0xfff != 0 {
+		return
+	}
+	if time.Now().After(e.deadline) {
+		panic(deadlineError{})
+	}
+}
+
+// Stats accumulates operation counters of an Engine. The multiplication
+// counters are the quantities the paper trades against each other.
+type Stats struct {
+	MatVecMuls     uint64 // top-level matrix-vector multiplications
+	MatMatMuls     uint64 // top-level matrix-matrix multiplications
+	AddRecursions  uint64
+	MulRecursions  uint64
+	CacheHits      uint64
+	CacheLookups   uint64
+	NodesCreated   uint64
+	GCs            uint64
+	PeakVNodes     int
+	PeakMNodes     int
+	PeakVectorSize int // largest state-vector DD observed via NoteVectorSize
+	PeakMatrixSize int // largest operation DD observed via NoteMatrixSize
+}
+
+// cache sizing: direct-mapped tables with overwrite-on-collision, the
+// scheme used by the JKU package. Powers of two for cheap masking.
+const (
+	cacheBits = 16
+	cacheSize = 1 << cacheBits
+	cacheMask = cacheSize - 1
+)
+
+type vKey struct {
+	v      int32
+	n0, n1 uint32
+	w0, w1 complex128
+}
+
+type mKey struct {
+	v              int32
+	n0, n1, n2, n3 uint32
+	w0, w1, w2, w3 complex128
+}
+
+type addVSlot struct {
+	aN, bN uint32
+	aW, bW complex128
+	r      VEdge
+	ok     bool
+}
+
+type addMSlot struct {
+	aN, bN uint32
+	aW, bW complex128
+	r      MEdge
+	ok     bool
+}
+
+type mulMVSlot struct {
+	m, v uint32
+	r    VEdge
+	ok   bool
+}
+
+type mulMMSlot struct {
+	a, b uint32
+	r    MEdge
+	ok   bool
+}
+
+// New returns an empty Engine ready for use.
+func New() *Engine {
+	return &Engine{
+		vUnique:  make(map[vKey]*VNode),
+		mUnique:  make(map[mKey]*MNode),
+		nextID:   1,
+		addVTab:  make([]addVSlot, cacheSize),
+		addMTab:  make([]addMSlot, cacheSize),
+		mulMVTab: make([]mulMVSlot, cacheSize),
+		mulMMTab: make([]mulMMSlot, cacheSize),
+	}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes all counters (table contents are preserved).
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// VNodeCount returns the number of live vector nodes in the unique table.
+func (e *Engine) VNodeCount() int { return len(e.vUnique) }
+
+// MNodeCount returns the number of live matrix nodes in the unique table.
+func (e *Engine) MNodeCount() int { return len(e.mUnique) }
+
+// NoteVectorSize records s as an observed state-vector DD size for the
+// peak statistics.
+func (e *Engine) NoteVectorSize(s int) {
+	if s > e.stats.PeakVectorSize {
+		e.stats.PeakVectorSize = s
+	}
+}
+
+// NoteMatrixSize records s as an observed operation DD size for the peak
+// statistics.
+func (e *Engine) NoteMatrixSize(s int) {
+	if s > e.stats.PeakMatrixSize {
+		e.stats.PeakMatrixSize = s
+	}
+}
+
+// Weight canonicalises a complex value through the engine's value table.
+func (e *Engine) Weight(c complex128) complex128 { return e.weights.Lookup(c) }
+
+// WeightTableSize returns the number of canonical complex representatives.
+func (e *Engine) WeightTableSize() int { return e.weights.Size() }
+
+// makeVNode hash-conses a vector node with the given children. The
+// normalisation rule divides out the largest-magnitude edge weight
+// (ties broken towards the lower index): stored weights then never
+// exceed magnitude one, which bounds floating-point error growth —
+// normalising by the *first* non-zero weight instead amplifies noise
+// whenever that weight is tiny and destroys sharing over long runs.
+func (e *Engine) makeVNode(v int32, e0, e1 VEdge) VEdge {
+	e0.W = e.weights.Lookup(e0.W)
+	e1.W = e.weights.Lookup(e1.W)
+	if e0.W == cnum.Zero {
+		e0.N = vTerminal
+	}
+	if e1.W == cnum.Zero {
+		e1.N = vTerminal
+	}
+	if e0.W == cnum.Zero && e1.W == cnum.Zero {
+		return VZero()
+	}
+	top := e0.W
+	if magGreater(e1.W, top) {
+		top = e1.W
+	}
+	e0.W = e.normDiv(e0.W, top)
+	e1.W = e.normDiv(e1.W, top)
+	k := vKey{v: v, n0: e0.N.id, n1: e1.N.id, w0: e0.W, w1: e1.W}
+	if n, ok := e.vUnique[k]; ok {
+		return VEdge{W: top, N: n}
+	}
+	n := &VNode{E: [2]VEdge{e0, e1}, V: v, id: e.nextID}
+	e.nextID++
+	e.stats.NodesCreated++
+	e.vUnique[k] = n
+	if len(e.vUnique) > e.stats.PeakVNodes {
+		e.stats.PeakVNodes = len(e.vUnique)
+	}
+	return VEdge{W: top, N: n}
+}
+
+// makeMNode hash-conses a matrix node; see makeVNode.
+func (e *Engine) makeMNode(v int32, es [4]MEdge) MEdge {
+	for i := range es {
+		es[i].W = e.weights.Lookup(es[i].W)
+		if es[i].W == cnum.Zero {
+			es[i].N = mTerminal
+		}
+	}
+	best := -1
+	for i := range es {
+		if es[i].W == cnum.Zero {
+			continue
+		}
+		if best < 0 || magGreater(es[i].W, es[best].W) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return MZero()
+	}
+	top := es[best].W
+	for i := range es {
+		es[i].W = e.normDiv(es[i].W, top)
+	}
+	k := mKey{
+		v:  v,
+		n0: es[0].N.id, n1: es[1].N.id, n2: es[2].N.id, n3: es[3].N.id,
+		w0: es[0].W, w1: es[1].W, w2: es[2].W, w3: es[3].W,
+	}
+	if n, ok := e.mUnique[k]; ok {
+		return MEdge{W: top, N: n}
+	}
+	n := &MNode{E: es, V: v, id: e.nextID}
+	e.nextID++
+	e.stats.NodesCreated++
+	e.mUnique[k] = n
+	if len(e.mUnique) > e.stats.PeakMNodes {
+		e.stats.PeakMNodes = len(e.mUnique)
+	}
+	return MEdge{W: top, N: n}
+}
+
+// Identity returns the matrix DD of the identity on qubits 0..n-1.
+func (e *Engine) Identity(n int) MEdge {
+	if n < 0 {
+		panic(fmt.Sprintf("dd: Identity(%d): negative qubit count", n))
+	}
+	for len(e.identity) <= n {
+		k := len(e.identity)
+		if k == 0 {
+			e.identity = append(e.identity, MOne())
+			continue
+		}
+		below := e.identity[k-1]
+		e.identity = append(e.identity, e.makeMNode(int32(k-1), [4]MEdge{below, MZero(), MZero(), below}))
+	}
+	return e.identity[n]
+}
+
+// magRelTol is the relative squared-magnitude margin under which two
+// edge weights count as equally large during normalisation; the tie
+// then goes to the lower edge index so that nodes equal up to noise —
+// or up to a common scalar factor — normalise identically.
+const magRelTol = 1e-6
+
+// magGreater reports whether |a| exceeds |b| by more than the relative
+// tie margin.
+func magGreater(a, b complex128) bool {
+	return cnum.Abs2(a) > cnum.Abs2(b)*(1+magRelTol)
+}
+
+// normDiv divides an edge weight by the normalisation factor and
+// canonicalises, mapping the selected edge to exactly one.
+func (e *Engine) normDiv(w, top complex128) complex128 {
+	if w == cnum.Zero {
+		return cnum.Zero
+	}
+	if w == top {
+		return cnum.One
+	}
+	return e.weights.Lookup(w / top)
+}
+
+// mix hashes two node ids into a cache index.
+func mix(a, b uint32) uint32 {
+	h := a*0x9e3779b1 ^ b*0x85ebca77
+	h ^= h >> 15
+	h *= 0xc2b2ae3d
+	h ^= h >> 13
+	return h & cacheMask
+}
+
+// mixW folds a complex weight into a hash.
+func mixW(h uint32, w complex128) uint32 {
+	rb := math.Float64bits(real(w))
+	ib := math.Float64bits(imag(w))
+	h ^= uint32(rb) ^ uint32(rb>>32)*0x9e3779b1
+	h ^= uint32(ib)*0x85ebca77 ^ uint32(ib>>32)
+	h ^= h >> 16
+	return h & cacheMask
+}
+
+// clearCaches invalidates all compute caches (after GC, node identities
+// may be reused so stale entries must not survive).
+func (e *Engine) clearCaches() {
+	for i := range e.addVTab {
+		e.addVTab[i].ok = false
+	}
+	for i := range e.addMTab {
+		e.addMTab[i].ok = false
+	}
+	for i := range e.mulMVTab {
+		e.mulMVTab[i].ok = false
+	}
+	for i := range e.mulMMTab {
+		e.mulMMTab[i].ok = false
+	}
+}

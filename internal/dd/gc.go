@@ -1,0 +1,71 @@
+package dd
+
+// GarbageCollect drops every node not reachable from the given roots
+// from the unique tables and invalidates the compute caches. Node
+// identities (and hence hash-consing of the surviving nodes) are
+// preserved — reachable diagrams remain valid and canonical.
+//
+// The core simulator calls this when live node counts exceed its
+// threshold; long runs would otherwise retain every intermediate state
+// ever built.
+func (e *Engine) GarbageCollect(vroots []VEdge, mroots []MEdge) {
+	e.stats.GCs++
+
+	liveV := make(map[*VNode]struct{})
+	var markV func(n *VNode)
+	markV = func(n *VNode) {
+		if n == vTerminal {
+			return
+		}
+		if _, ok := liveV[n]; ok {
+			return
+		}
+		liveV[n] = struct{}{}
+		markV(n.E[0].N)
+		markV(n.E[1].N)
+	}
+	for _, r := range vroots {
+		markV(r.N)
+	}
+
+	liveM := make(map[*MNode]struct{})
+	var markM func(n *MNode)
+	markM = func(n *MNode) {
+		if n == mTerminal {
+			return
+		}
+		if _, ok := liveM[n]; ok {
+			return
+		}
+		liveM[n] = struct{}{}
+		for i := range n.E {
+			markM(n.E[i].N)
+		}
+	}
+	for _, r := range mroots {
+		markM(r.N)
+	}
+	// The identity cache is cheap to keep and pervasively shared; treat
+	// its entries as roots so Identity() stays O(1) after collection.
+	for _, id := range e.identity {
+		markM(id.N)
+	}
+
+	newV := make(map[vKey]*VNode, len(liveV))
+	for k, n := range e.vUnique {
+		if _, ok := liveV[n]; ok {
+			newV[k] = n
+		}
+	}
+	e.vUnique = newV
+
+	newM := make(map[mKey]*MNode, len(liveM))
+	for k, n := range e.mUnique {
+		if _, ok := liveM[n]; ok {
+			newM[k] = n
+		}
+	}
+	e.mUnique = newM
+
+	e.clearCaches()
+}

@@ -1,0 +1,239 @@
+package dd
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cnum"
+)
+
+// The testing/quick properties below drive the engine with arbitrary
+// seeded inputs; each seed deterministically generates states/gates so
+// failures are reproducible from the printed arguments.
+
+func stateFromSeed(e *Engine, seed int64, n int) VEdge {
+	return e.FromVector(randState(rand.New(rand.NewSource(seed)), n))
+}
+
+func gateFromSeed(e *Engine, seed int64, n int) MEdge {
+	rng := rand.New(rand.NewSource(seed))
+	tgt := rng.Intn(n)
+	var controls []Control
+	for q := 0; q < n; q++ {
+		if q != tgt && rng.Intn(3) == 0 {
+			controls = append(controls, Control{Qubit: q, Negative: rng.Intn(2) == 0})
+		}
+	}
+	return e.GateDD(randUnitary(rng), n, tgt, controls)
+}
+
+func vecApproxEq(a, b VEdge) bool {
+	av, bv := a.ToVector(), b.ToVector()
+	for i := range av {
+		if cmplx.Abs(av[i]-bv[i]) > 1e-8 {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: addition commutes.
+func TestQuickAddCommutative(t *testing.T) {
+	e := New()
+	f := func(s1, s2 int64, nRaw uint8) bool {
+		n := int(nRaw)%5 + 1
+		a := stateFromSeed(e, s1, n)
+		b := stateFromSeed(e, s2, n)
+		return vecApproxEq(e.Add(a, b), e.Add(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: addition associates.
+func TestQuickAddAssociative(t *testing.T) {
+	e := New()
+	f := func(s1, s2, s3 int64, nRaw uint8) bool {
+		n := int(nRaw)%4 + 1
+		a := stateFromSeed(e, s1, n)
+		b := stateFromSeed(e, s2, n)
+		c := stateFromSeed(e, s3, n)
+		return vecApproxEq(e.Add(e.Add(a, b), c), e.Add(a, e.Add(b, c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matrix application is linear: M(a+b) = Ma + Mb.
+func TestQuickMulVecLinear(t *testing.T) {
+	e := New()
+	f := func(s1, s2, s3 int64, nRaw uint8) bool {
+		n := int(nRaw)%4 + 1
+		m := gateFromSeed(e, s3, n)
+		a := stateFromSeed(e, s1, n)
+		b := stateFromSeed(e, s2, n)
+		lhs := e.MulVec(m, e.Add(a, b))
+		rhs := e.Add(e.MulVec(m, a), e.MulVec(m, b))
+		return vecApproxEq(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scalars commute through multiplication: (cM)v = c(Mv).
+func TestQuickScalarFactorisation(t *testing.T) {
+	e := New()
+	f := func(s1, s2 int64, re, im float64, nRaw uint8) bool {
+		n := int(nRaw)%4 + 1
+		c := complex(math.Mod(re, 2), math.Mod(im, 2))
+		if cmplx.IsNaN(c) || cmplx.IsInf(c) {
+			return true
+		}
+		m := gateFromSeed(e, s1, n)
+		v := stateFromSeed(e, s2, n)
+		lhs := e.MulVec(e.ScaleM(m, c), v)
+		rhs := e.ScaleV(e.MulVec(m, v), c)
+		return vecApproxEq(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unitaries preserve norm and inner products.
+func TestQuickUnitaryInvariants(t *testing.T) {
+	e := New()
+	f := func(s1, s2, s3 int64, nRaw uint8) bool {
+		n := int(nRaw)%4 + 1
+		m := gateFromSeed(e, s3, n)
+		a := stateFromSeed(e, s1, n)
+		b := stateFromSeed(e, s2, n)
+		ma := e.MulVec(m, a)
+		mb := e.MulVec(m, b)
+		if math.Abs(ma.Norm()-1) > 1e-8 {
+			return false
+		}
+		return cmplx.Abs(e.InnerProduct(ma, mb)-e.InnerProduct(a, b)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the fundamental rearrangement of the paper, on arbitrary
+// chains: applying k gates one by one equals applying their combined
+// product once.
+func TestQuickCombinationEquivalence(t *testing.T) {
+	e := New()
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%4 + 2
+		k := int(kRaw)%6 + 2
+		rng := rand.New(rand.NewSource(seed))
+		v := stateFromSeed(e, seed+1, n)
+		seq := v
+		combined := e.Identity(n)
+		for i := 0; i < k; i++ {
+			g := gateFromSeed(e, rng.Int63(), n)
+			seq = e.MulVec(g, seq)
+			combined = e.MulMat(g, combined)
+		}
+		return vecApproxEq(seq, e.MulVec(combined, v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Kron respects the mixed-product rule:
+// (A⊗B)(x⊗y) = (Ax)⊗(By).
+func TestQuickKronMixedProduct(t *testing.T) {
+	e := New()
+	f := func(s1, s2, s3, s4 int64, nRaw uint8) bool {
+		nHi := int(nRaw)%2 + 1
+		nLo := int(nRaw>>4)%2 + 1
+		a := gateFromSeed(e, s1, nHi)
+		b := gateFromSeed(e, s2, nLo)
+		x := stateFromSeed(e, s3, nHi)
+		y := stateFromSeed(e, s4, nLo)
+		lhs := e.MulVec(e.KronM(a, b), e.KronV(x, y))
+		rhs := e.KronV(e.MulVec(a, x), e.MulVec(b, y))
+		return vecApproxEq(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: inner products are conjugate symmetric.
+func TestQuickInnerProductConjugateSymmetry(t *testing.T) {
+	e := New()
+	f := func(s1, s2 int64, nRaw uint8) bool {
+		n := int(nRaw)%5 + 1
+		a := stateFromSeed(e, s1, n)
+		b := stateFromSeed(e, s2, n)
+		ab := e.InnerProduct(a, b)
+		ba := e.InnerProduct(b, a)
+		return cmplx.Abs(ab-cmplx.Conj(ba)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: trace is linear and invariant under transposition.
+func TestQuickTraceProperties(t *testing.T) {
+	e := New()
+	f := func(s1, s2 int64, nRaw uint8) bool {
+		n := int(nRaw)%4 + 1
+		a := gateFromSeed(e, s1, n)
+		b := gateFromSeed(e, s2, n)
+		trSum := e.Trace(e.AddM(a, b))
+		if cmplx.Abs(trSum-(e.Trace(a)+e.Trace(b))) > 1e-8 {
+			return false
+		}
+		// tr(AB) = tr(BA).
+		return cmplx.Abs(e.Trace(e.MulMat(a, b))-e.Trace(e.MulMat(b, a))) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: structural sharing — building the same vector twice yields
+// the same root pointer (canonicity through the unique tables).
+func TestQuickCanonicity(t *testing.T) {
+	e := New()
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%5 + 1
+		a := stateFromSeed(e, seed, n)
+		b := stateFromSeed(e, seed, n)
+		return a.N == b.N && cnum.Eq(a.W, b.W)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: measurement probabilities sum to one over every qubit.
+func TestQuickProbNormalisation(t *testing.T) {
+	e := New()
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%5 + 1
+		v := stateFromSeed(e, seed, n)
+		for q := 0; q < n; q++ {
+			if math.Abs(v.Prob(q, 0)+v.Prob(q, 1)-1) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

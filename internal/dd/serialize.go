@@ -1,0 +1,274 @@
+package dd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialisation of decision diagrams. Nodes are written in
+// topological order (children before parents) so shared sub-diagrams
+// are stored once; decoding rebuilds through the target engine's
+// unique tables, so the result is canonical there. The encoding is
+// little-endian with varint node counts:
+//
+//	magic ("DDV1" or "DDM1")
+//	uvarint nodeCount
+//	per node: int32 variable, then 2 (vector) or 4 (matrix) edges
+//	per edge: float64 re, float64 im, uvarint target (0 = terminal,
+//	          k+1 = k-th written node)
+//	root edge in the same encoding
+var (
+	vMagic = [4]byte{'D', 'D', 'V', '1'}
+	mMagic = [4]byte{'D', 'D', 'M', '1'}
+)
+
+// WriteV serialises a vector diagram.
+func WriteV(w io.Writer, v VEdge) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(vMagic[:]); err != nil {
+		return err
+	}
+	index := map[*VNode]uint64{}
+	var order []*VNode
+	var topo func(n *VNode)
+	topo = func(n *VNode) {
+		if n == vTerminal {
+			return
+		}
+		if _, ok := index[n]; ok {
+			return
+		}
+		topo(n.E[0].N)
+		topo(n.E[1].N)
+		index[n] = uint64(len(order)) + 1
+		order = append(order, n)
+	}
+	topo(v.N)
+
+	writeUvarint(bw, uint64(len(order)))
+	for _, n := range order {
+		writeInt32(bw, n.V)
+		for i := 0; i < 2; i++ {
+			writeVEdge(bw, n.E[i], index)
+		}
+	}
+	writeVEdge(bw, v, index)
+	return bw.Flush()
+}
+
+// ReadV deserialises a vector diagram into the engine.
+func ReadV(r io.Reader, e *Engine) (VEdge, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return VEdge{}, fmt.Errorf("dd: ReadV: %w", err)
+	}
+	if magic != vMagic {
+		return VEdge{}, fmt.Errorf("dd: ReadV: bad magic %q", magic[:])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return VEdge{}, fmt.Errorf("dd: ReadV: %w", err)
+	}
+	if count > 1<<28 {
+		return VEdge{}, fmt.Errorf("dd: ReadV: implausible node count %d", count)
+	}
+	nodes := make([]VEdge, count)
+	resolve := func(w complex128, ref uint64) (VEdge, error) {
+		if ref == 0 {
+			if w == 0 {
+				return VZero(), nil
+			}
+			return VEdge{W: e.Weight(w), N: vTerminal}, nil
+		}
+		if ref > uint64(len(nodes)) {
+			return VEdge{}, fmt.Errorf("dd: ReadV: forward reference %d", ref)
+		}
+		child := nodes[ref-1]
+		return e.ScaleV(child, w), nil
+	}
+	for i := uint64(0); i < count; i++ {
+		v, err := readInt32(br)
+		if err != nil {
+			return VEdge{}, err
+		}
+		var es [2]VEdge
+		for j := 0; j < 2; j++ {
+			w, ref, err := readEdge(br)
+			if err != nil {
+				return VEdge{}, err
+			}
+			if ref > i { // children must precede parents
+				return VEdge{}, fmt.Errorf("dd: ReadV: node %d references unwritten node %d", i, ref)
+			}
+			es[j], err = resolve(w, ref)
+			if err != nil {
+				return VEdge{}, err
+			}
+		}
+		nodes[i] = e.makeVNode(v, es[0], es[1])
+	}
+	w, ref, err := readEdge(br)
+	if err != nil {
+		return VEdge{}, err
+	}
+	return resolve(w, ref)
+}
+
+// WriteM serialises a matrix diagram.
+func WriteM(w io.Writer, m MEdge) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(mMagic[:]); err != nil {
+		return err
+	}
+	index := map[*MNode]uint64{}
+	var order []*MNode
+	var topo func(n *MNode)
+	topo = func(n *MNode) {
+		if n == mTerminal {
+			return
+		}
+		if _, ok := index[n]; ok {
+			return
+		}
+		for i := range n.E {
+			topo(n.E[i].N)
+		}
+		index[n] = uint64(len(order)) + 1
+		order = append(order, n)
+	}
+	topo(m.N)
+
+	writeUvarint(bw, uint64(len(order)))
+	for _, n := range order {
+		writeInt32(bw, n.V)
+		for i := range n.E {
+			writeMEdge(bw, n.E[i], index)
+		}
+	}
+	writeMEdge(bw, m, index)
+	return bw.Flush()
+}
+
+// ReadM deserialises a matrix diagram into the engine.
+func ReadM(r io.Reader, e *Engine) (MEdge, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return MEdge{}, fmt.Errorf("dd: ReadM: %w", err)
+	}
+	if magic != mMagic {
+		return MEdge{}, fmt.Errorf("dd: ReadM: bad magic %q", magic[:])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return MEdge{}, fmt.Errorf("dd: ReadM: %w", err)
+	}
+	if count > 1<<28 {
+		return MEdge{}, fmt.Errorf("dd: ReadM: implausible node count %d", count)
+	}
+	nodes := make([]MEdge, count)
+	resolve := func(w complex128, ref uint64) (MEdge, error) {
+		if ref == 0 {
+			if w == 0 {
+				return MZero(), nil
+			}
+			return MEdge{W: e.Weight(w), N: mTerminal}, nil
+		}
+		if ref > uint64(len(nodes)) {
+			return MEdge{}, fmt.Errorf("dd: ReadM: forward reference %d", ref)
+		}
+		return e.ScaleM(nodes[ref-1], w), nil
+	}
+	for i := uint64(0); i < count; i++ {
+		v, err := readInt32(br)
+		if err != nil {
+			return MEdge{}, err
+		}
+		var es [4]MEdge
+		for j := 0; j < 4; j++ {
+			w, ref, err := readEdge(br)
+			if err != nil {
+				return MEdge{}, err
+			}
+			if ref > i {
+				return MEdge{}, fmt.Errorf("dd: ReadM: node %d references unwritten node %d", i, ref)
+			}
+			es[j], err = resolve(w, ref)
+			if err != nil {
+				return MEdge{}, err
+			}
+		}
+		nodes[i] = e.makeMNode(v, es)
+	}
+	w, ref, err := readEdge(br)
+	if err != nil {
+		return MEdge{}, err
+	}
+	return resolve(w, ref)
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeInt32(w *bufio.Writer, v int32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(v))
+	w.Write(buf[:])
+}
+
+func readInt32(r *bufio.Reader) (int32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return int32(binary.LittleEndian.Uint32(buf[:])), nil
+}
+
+func writeFloat(w *bufio.Writer, f float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	w.Write(buf[:])
+}
+
+func readFloat(r *bufio.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func writeVEdge(w *bufio.Writer, e VEdge, index map[*VNode]uint64) {
+	writeFloat(w, real(e.W))
+	writeFloat(w, imag(e.W))
+	writeUvarint(w, index[e.N]) // terminal is absent from index → 0
+}
+
+func writeMEdge(w *bufio.Writer, e MEdge, index map[*MNode]uint64) {
+	writeFloat(w, real(e.W))
+	writeFloat(w, imag(e.W))
+	writeUvarint(w, index[e.N])
+}
+
+func readEdge(r *bufio.Reader) (complex128, uint64, error) {
+	re, err := readFloat(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	im, err := readFloat(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	ref, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	return complex(re, im), ref, nil
+}

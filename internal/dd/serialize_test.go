@@ -1,0 +1,145 @@
+package dd
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestVectorSerialisationRoundTrip(t *testing.T) {
+	src := New()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(7)
+		v := src.FromVector(randState(rng, n))
+		var buf bytes.Buffer
+		if err := WriteV(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		dst := New()
+		got, err := ReadV(&buf, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approxVec(t, got.ToVector(), v.ToVector(), "serialise round trip")
+	}
+}
+
+func TestVectorSerialisationPreservesSharing(t *testing.T) {
+	src := New()
+	// A GHZ-like state shares heavily; node counts must survive.
+	v := src.ZeroState(10)
+	v = src.MulVec(src.GateDD(gH, 10, 0, nil), v)
+	for q := 1; q < 10; q++ {
+		v = src.MulVec(src.GateDD(gX, 10, q, []Control{Pos(q - 1)}), v)
+	}
+	var buf bytes.Buffer
+	if err := WriteV(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	dst := New()
+	got, err := ReadV(bytes.NewReader(data), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != v.Size() {
+		t.Fatalf("sharing lost: %d vs %d nodes", got.Size(), v.Size())
+	}
+	// Decoding into the same engine must hash-cons onto the original.
+	same, err := ReadV(bytes.NewReader(data), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.N != v.N {
+		t.Fatal("decode into source engine did not hash-cons")
+	}
+}
+
+func TestZeroAndBasisSerialisation(t *testing.T) {
+	src := New()
+	for _, v := range []VEdge{VZero(), src.ZeroState(3), src.BasisState(4, 11)} {
+		var buf bytes.Buffer
+		if err := WriteV(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		dst := New()
+		got, err := ReadV(&buf, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.N == vTerminal {
+			if !got.IsZero() && got.W != v.W {
+				t.Fatalf("terminal round trip %v vs %v", got, v)
+			}
+			continue
+		}
+		approxVec(t, got.ToVector(), v.ToVector(), "basis round trip")
+	}
+}
+
+func TestMatrixSerialisationRoundTrip(t *testing.T) {
+	src := New()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(4)
+		m := src.GateDD(randUnitary(rng), n, rng.Intn(n), nil)
+		if trial%2 == 0 {
+			m = src.MulMat(m, src.GateDD(randUnitary(rng), n, rng.Intn(n), nil))
+		}
+		var buf bytes.Buffer
+		if err := WriteM(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		dst := New()
+		got, err := ReadM(&buf, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approxMat(t, got.ToMatrix(), m.ToMatrix(), "matrix round trip")
+	}
+}
+
+func TestSerialisationErrors(t *testing.T) {
+	dst := New()
+	if _, err := ReadV(strings.NewReader(""), dst); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadV(strings.NewReader("BOGUS___"), dst); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Vector payload fed to the matrix reader must be rejected.
+	var buf bytes.Buffer
+	if err := WriteV(&buf, dst.ZeroState(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadM(bytes.NewReader(buf.Bytes()), dst); err == nil {
+		t.Error("vector payload accepted by ReadM")
+	}
+	// Truncated payload.
+	var buf2 bytes.Buffer
+	if err := WriteV(&buf2, dst.ZeroState(2)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf2.Bytes()[:buf2.Len()/2]
+	if _, err := ReadV(bytes.NewReader(trunc), dst); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestSerialisationIsCompact(t *testing.T) {
+	src := New()
+	// 2^20 amplitudes, but a product state: the file must stay tiny.
+	v := src.ZeroState(20)
+	for q := 0; q < 20; q++ {
+		v = src.MulVec(src.GateDD(gH, 20, q, nil), v)
+	}
+	var buf bytes.Buffer
+	if err := WriteV(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 2048 {
+		t.Fatalf("uniform 20-qubit state serialised to %d bytes", buf.Len())
+	}
+}

@@ -1,0 +1,192 @@
+// Package dense implements a conventional array-based state-vector
+// simulator — the representation the paper contrasts decision diagrams
+// with. It serves as the correctness oracle for the DD engine on small
+// instances and as a baseline in the benchmark harness.
+package dense
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/cnum"
+	"repro/internal/dd"
+	"repro/internal/gates"
+)
+
+// State is a dense state vector over n qubits (2^n amplitudes; bit q of
+// an index is the value of qubit q).
+type State struct {
+	N    int
+	Amps []complex128
+}
+
+// NewState returns |0…0> on n qubits. n is capped to keep allocations
+// sane: dense simulation is exactly what does not scale.
+func NewState(n int) *State {
+	if n <= 0 || n > 26 {
+		panic(fmt.Sprintf("dense: NewState(%d): qubit count out of supported range [1,26]", n))
+	}
+	amps := make([]complex128, 1<<uint(n))
+	amps[0] = 1
+	return &State{N: n, Amps: amps}
+}
+
+// FromVector wraps an explicit amplitude vector (length must be a power
+// of two). The slice is used directly, not copied.
+func FromVector(amps []complex128) *State {
+	n := 0
+	for 1<<uint(n) < len(amps) {
+		n++
+	}
+	if len(amps) == 0 || 1<<uint(n) != len(amps) {
+		panic(fmt.Sprintf("dense: FromVector: length %d is not a power of two", len(amps)))
+	}
+	return &State{N: n, Amps: amps}
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	amps := make([]complex128, len(s.Amps))
+	copy(amps, s.Amps)
+	return &State{N: s.N, Amps: amps}
+}
+
+// Apply applies a single-qubit gate to target under the given controls,
+// in place, by direct index manipulation (the conventional simulation
+// step the paper's footnote 1 describes).
+func (s *State) Apply(m gates.Matrix, target int, controls []dd.Control) {
+	if target < 0 || target >= s.N {
+		panic(fmt.Sprintf("dense: Apply: target %d out of range for %d qubits", target, s.N))
+	}
+	var posMask, negMask uint64
+	for _, c := range controls {
+		if c.Qubit < 0 || c.Qubit >= s.N || c.Qubit == target {
+			panic(fmt.Sprintf("dense: Apply: invalid control %d", c.Qubit))
+		}
+		if c.Negative {
+			negMask |= 1 << uint(c.Qubit)
+		} else {
+			posMask |= 1 << uint(c.Qubit)
+		}
+	}
+	tBit := uint64(1) << uint(target)
+	for i := uint64(0); i < uint64(len(s.Amps)); i++ {
+		if i&tBit != 0 {
+			continue // handle each (i, i|tBit) pair once, from the 0 side
+		}
+		if i&posMask != posMask || i&negMask != 0 {
+			continue
+		}
+		j := i | tBit
+		a0, a1 := s.Amps[i], s.Amps[j]
+		s.Amps[i] = m[0][0]*a0 + m[0][1]*a1
+		s.Amps[j] = m[1][0]*a0 + m[1][1]*a1
+	}
+}
+
+// ApplyGate applies a circuit gate.
+func (s *State) ApplyGate(g circuit.Gate) {
+	s.Apply(g.Matrix, g.Target, g.Controls)
+}
+
+// Run applies all gates of c in order. The circuit's qubit count must
+// match the state's.
+func (s *State) Run(c *circuit.Circuit) {
+	if c.NQubits != s.N {
+		panic(fmt.Sprintf("dense: Run: circuit has %d qubits, state has %d", c.NQubits, s.N))
+	}
+	for _, g := range c.Gates {
+		s.ApplyGate(g)
+	}
+}
+
+// Simulate runs c on |0…0> and returns the resulting state.
+func Simulate(c *circuit.Circuit) *State {
+	s := NewState(c.NQubits)
+	s.Run(c)
+	return s
+}
+
+// Norm returns the 2-norm of the state.
+func (s *State) Norm() float64 {
+	var sum float64
+	for _, a := range s.Amps {
+		sum += cnum.Abs2(a)
+	}
+	return math.Sqrt(sum)
+}
+
+// Prob returns the probability that measuring qubit q yields outcome.
+func (s *State) Prob(q, outcome int) float64 {
+	if q < 0 || q >= s.N {
+		panic(fmt.Sprintf("dense: Prob: qubit %d out of range", q))
+	}
+	bit := uint64(1) << uint(q)
+	var p float64
+	for i, a := range s.Amps {
+		if (uint64(i)&bit != 0) == (outcome == 1) {
+			p += cnum.Abs2(a)
+		}
+	}
+	return p
+}
+
+// SampleAll draws one full measurement outcome from the state's
+// distribution without collapsing it.
+func (s *State) SampleAll(rng *rand.Rand) uint64 {
+	r := rng.Float64()
+	var acc float64
+	for i, a := range s.Amps {
+		acc += cnum.Abs2(a)
+		if r < acc {
+			return uint64(i)
+		}
+	}
+	return uint64(len(s.Amps) - 1)
+}
+
+// MeasureQubit measures qubit q, collapsing and renormalising the state
+// in place; it returns the observed bit.
+func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
+	p1 := s.Prob(q, 1)
+	bit := 0
+	if rng.Float64() < p1 {
+		bit = 1
+	}
+	s.Project(q, bit)
+	return bit
+}
+
+// Project collapses qubit q to value and renormalises.
+func (s *State) Project(q, value int) {
+	bit := uint64(1) << uint(q)
+	var norm float64
+	for i := range s.Amps {
+		if (uint64(i)&bit != 0) != (value == 1) {
+			s.Amps[i] = 0
+		} else {
+			norm += cnum.Abs2(s.Amps[i])
+		}
+	}
+	if norm < cnum.Tol {
+		panic("dense: Project onto (near-)zero-probability outcome")
+	}
+	f := complex(1/math.Sqrt(norm), 0)
+	for i := range s.Amps {
+		s.Amps[i] *= f
+	}
+}
+
+// Fidelity returns |<s|o>|².
+func (s *State) Fidelity(o *State) float64 {
+	if s.N != o.N {
+		panic("dense: Fidelity: qubit count mismatch")
+	}
+	var ip complex128
+	for i := range s.Amps {
+		ip += complex(real(s.Amps[i]), -imag(s.Amps[i])) * o.Amps[i]
+	}
+	return cnum.Abs2(ip)
+}

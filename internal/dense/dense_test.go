@@ -1,0 +1,175 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/dd"
+	"repro/internal/gates"
+)
+
+func approx(a, b complex128) bool {
+	return math.Abs(real(a-b)) < 1e-9 && math.Abs(imag(a-b)) < 1e-9
+}
+
+func TestNewState(t *testing.T) {
+	s := NewState(3)
+	if len(s.Amps) != 8 || s.Amps[0] != 1 {
+		t.Fatal("initial state is not |000>")
+	}
+	mustPanic(t, func() { NewState(0) })
+	mustPanic(t, func() { NewState(30) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestApplyHadamard(t *testing.T) {
+	s := NewState(1)
+	s.Apply(gates.H, 0, nil)
+	w := complex(1/math.Sqrt2, 0)
+	if !approx(s.Amps[0], w) || !approx(s.Amps[1], w) {
+		t.Fatalf("H|0> = %v", s.Amps)
+	}
+}
+
+func TestApplyCX(t *testing.T) {
+	s := NewState(2)
+	s.Apply(gates.X, 0, nil)
+	s.Apply(gates.X, 1, []dd.Control{dd.Pos(0)})
+	if !approx(s.Amps[3], 1) {
+		t.Fatalf("CX·X|00> = %v, want |11>", s.Amps)
+	}
+	// Negative control: triggers only when control is 0.
+	s2 := NewState(2)
+	s2.Apply(gates.X, 1, []dd.Control{dd.Neg(0)})
+	if !approx(s2.Amps[2], 1) {
+		t.Fatalf("negctl X|00> = %v, want |10>", s2.Amps)
+	}
+}
+
+func TestBellCircuitPaperExample(t *testing.T) {
+	// Example 1 of the paper: |01> through H(q0-as-msb) then CX. In our
+	// little-endian convention the paper's q0 is our qubit 1.
+	s := NewState(2)
+	s.Apply(gates.X, 0, nil) // prepare |01> (paper ordering |q0 q1>)
+	s.Apply(gates.H, 1, nil)
+	s.Apply(gates.X, 0, []dd.Control{dd.Pos(1)})
+	w := complex(1/math.Sqrt2, 0)
+	// Paper result: (0, 1/√2, 0, 1/√2) in basis |q0 q1> = index q0*2+q1.
+	if !approx(s.Amps[1], w) || !approx(s.Amps[2], w) {
+		t.Fatalf("paper example state = %v", s.Amps)
+	}
+	if !approx(s.Amps[0], 0) || !approx(s.Amps[3], 0) {
+		t.Fatalf("paper example state = %v", s.Amps)
+	}
+}
+
+func TestRunCircuitMatchesManual(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0).CX(0, 1).CCX(0, 1, 2).T(2)
+	s := Simulate(c)
+	m := NewState(3)
+	m.Apply(gates.H, 0, nil)
+	m.Apply(gates.X, 1, []dd.Control{dd.Pos(0)})
+	m.Apply(gates.X, 2, []dd.Control{dd.Pos(0), dd.Pos(1)})
+	m.Apply(gates.T, 2, nil)
+	for i := range s.Amps {
+		if !approx(s.Amps[i], m.Amps[i]) {
+			t.Fatalf("amp %d: %v vs %v", i, s.Amps[i], m.Amps[i])
+		}
+	}
+	if math.Abs(s.Norm()-1) > 1e-9 {
+		t.Fatalf("norm %v", s.Norm())
+	}
+}
+
+func TestProbAndProject(t *testing.T) {
+	s := NewState(2)
+	s.Apply(gates.H, 0, nil)
+	s.Apply(gates.X, 1, []dd.Control{dd.Pos(0)})
+	if p := s.Prob(1, 1); math.Abs(p-0.5) > 1e-9 {
+		t.Fatalf("P(q1=1) = %v", p)
+	}
+	s.Project(1, 1)
+	if !approx(s.Amps[3], 1) {
+		t.Fatalf("projected state %v", s.Amps)
+	}
+	mustPanic(t, func() { s.Project(1, 0) }) // zero-probability branch
+}
+
+func TestMeasureQubit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ones := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		s := NewState(1)
+		s.Apply(gates.H, 0, nil)
+		ones += s.MeasureQubit(0, rng)
+	}
+	ratio := float64(ones) / trials
+	if math.Abs(ratio-0.5) > 0.05 {
+		t.Fatalf("measurement frequency %v, want ~0.5", ratio)
+	}
+}
+
+func TestSampleAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewState(2)
+	s.Apply(gates.X, 1, nil)
+	for i := 0; i < 100; i++ {
+		if got := s.SampleAll(rng); got != 2 {
+			t.Fatalf("sample %d, want 2", got)
+		}
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	a := NewState(2)
+	b := NewState(2)
+	if f := a.Fidelity(b); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("identical states fidelity %v", f)
+	}
+	b.Apply(gates.X, 0, nil)
+	if f := a.Fidelity(b); f > 1e-9 {
+		t.Fatalf("orthogonal states fidelity %v", f)
+	}
+}
+
+func TestFromVector(t *testing.T) {
+	s := FromVector([]complex128{0, 1, 0, 0})
+	if s.N != 2 {
+		t.Fatalf("N = %d", s.N)
+	}
+	mustPanic(t, func() { FromVector(make([]complex128, 3)) })
+	mustPanic(t, func() { FromVector(nil) })
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewState(1)
+	b := a.Clone()
+	b.Apply(gates.X, 0, nil)
+	if !approx(a.Amps[0], 1) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func BenchmarkDenseGate16(b *testing.B) {
+	s := NewState(16)
+	for q := 0; q < 16; q++ {
+		s.Apply(gates.H, q, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Apply(gates.T, 8, []dd.Control{dd.Pos(0)})
+	}
+}

@@ -1,0 +1,221 @@
+// Package dynamic executes circuits with intermediate measurements,
+// qubit resets and classically-controlled gates — the "dynamic
+// circuit" model used by semiclassical phase estimation (footnote 7 of
+// the paper / Beauregard's one-control-qubit trick).
+//
+// A Program interleaves unitary gates with measure/reset operations and
+// classical conditions over previously measured bits. Unitary runs
+// between non-unitary operations are simulated through the core
+// combination strategies, so all of the paper's machinery applies to
+// the unitary segments.
+package dynamic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/gates"
+)
+
+// OpKind discriminates program operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpGate OpKind = iota
+	OpMeasure
+	OpReset
+)
+
+// Op is one program step. For OpGate, Cond (optional) gates the
+// application on previously measured classical bits. For OpMeasure the
+// qubit is measured into Clbit (collapsing the state); OpReset
+// measures and flips the qubit back to |0>.
+type Op struct {
+	Kind  OpKind
+	Gate  circuit.Gate // OpGate
+	Qubit int          // OpMeasure / OpReset
+	Clbit int          // OpMeasure
+	Cond  *Condition   // OpGate only
+}
+
+// Condition gates an operation on the classical register:
+// (bits & Mask) == Value.
+type Condition struct {
+	Mask  uint64
+	Value uint64
+}
+
+// Program is a dynamic circuit.
+type Program struct {
+	NQubits int
+	NClbits int
+	Ops     []Op
+}
+
+// New returns an empty program.
+func New(nQubits, nClbits int) *Program {
+	if nQubits <= 0 {
+		panic(fmt.Sprintf("dynamic: New(%d, %d): qubit count must be positive", nQubits, nClbits))
+	}
+	if nClbits < 0 || nClbits > 64 {
+		panic(fmt.Sprintf("dynamic: New: classical bit count %d out of [0,64]", nClbits))
+	}
+	return &Program{NQubits: nQubits, NClbits: nClbits}
+}
+
+// Gate appends an unconditional gate.
+func (p *Program) Gate(g circuit.Gate) *Program {
+	p.Ops = append(p.Ops, Op{Kind: OpGate, Gate: g})
+	return p
+}
+
+// GateIf appends a gate applied only when (classical & mask) == value.
+func (p *Program) GateIf(g circuit.Gate, mask, value uint64) *Program {
+	p.Ops = append(p.Ops, Op{Kind: OpGate, Gate: g, Cond: &Condition{Mask: mask, Value: value}})
+	return p
+}
+
+// Measure appends a measurement of qubit into clbit.
+func (p *Program) Measure(qubit, clbit int) *Program {
+	p.Ops = append(p.Ops, Op{Kind: OpMeasure, Qubit: qubit, Clbit: clbit})
+	return p
+}
+
+// Reset appends a reset of qubit to |0>.
+func (p *Program) Reset(qubit int) *Program {
+	p.Ops = append(p.Ops, Op{Kind: OpReset, Qubit: qubit})
+	return p
+}
+
+// Validate checks indices and conditions.
+func (p *Program) Validate() error {
+	for i, op := range p.Ops {
+		switch op.Kind {
+		case OpGate:
+			g := op.Gate
+			if g.Target < 0 || g.Target >= p.NQubits {
+				return fmt.Errorf("dynamic: op %d: target %d out of range", i, g.Target)
+			}
+			seen := map[int]bool{g.Target: true}
+			for _, ctl := range g.Controls {
+				if ctl.Qubit < 0 || ctl.Qubit >= p.NQubits {
+					return fmt.Errorf("dynamic: op %d: control %d out of range", i, ctl.Qubit)
+				}
+				if seen[ctl.Qubit] {
+					return fmt.Errorf("dynamic: op %d: qubit %d used twice", i, ctl.Qubit)
+				}
+				seen[ctl.Qubit] = true
+			}
+			if err := gates.CheckUnitary(g.Matrix, 1e-9); err != nil {
+				return fmt.Errorf("dynamic: op %d: %w", i, err)
+			}
+			if op.Cond != nil && p.NClbits < 64 && op.Cond.Mask >= 1<<uint(p.NClbits) {
+				return fmt.Errorf("dynamic: op %d: condition mask %#x exceeds %d classical bits", i, op.Cond.Mask, p.NClbits)
+			}
+		case OpMeasure:
+			if op.Qubit < 0 || op.Qubit >= p.NQubits {
+				return fmt.Errorf("dynamic: op %d: measure qubit %d out of range", i, op.Qubit)
+			}
+			if op.Clbit < 0 || op.Clbit >= p.NClbits {
+				return fmt.Errorf("dynamic: op %d: clbit %d out of range", i, op.Clbit)
+			}
+		case OpReset:
+			if op.Qubit < 0 || op.Qubit >= p.NQubits {
+				return fmt.Errorf("dynamic: op %d: reset qubit %d out of range", i, op.Qubit)
+			}
+		default:
+			return fmt.Errorf("dynamic: op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of one program execution.
+type Result struct {
+	State     dd.VEdge
+	Classical uint64 // final classical register
+	Engine    *dd.Engine
+	Duration  time.Duration
+	// Aggregated over all unitary segments.
+	MatVecSteps  int
+	MatMatSteps  int
+	Measurements int
+}
+
+// Run executes the program from |0…0>. Unitary runs between
+// measurements are simulated with opt's strategy (opt.InitialState is
+// managed internally and must be unset).
+func (p *Program) Run(opt core.Options, rng *rand.Rand) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.InitialState != nil {
+		return nil, fmt.Errorf("dynamic: Run manages the state; Options.InitialState must be nil")
+	}
+	eng := opt.Engine
+	if eng == nil {
+		eng = dd.New()
+	}
+	opt.Engine = eng
+
+	start := time.Now()
+	res := &Result{Engine: eng}
+	state := eng.ZeroState(p.NQubits)
+	var classical uint64
+
+	// pending accumulates the current unitary segment.
+	pending := circuit.New(p.NQubits)
+	flush := func() error {
+		if pending.GateCount() == 0 {
+			return nil
+		}
+		opt.InitialState = &state
+		r, err := core.Run(pending, opt)
+		if err != nil {
+			return err
+		}
+		state = r.State
+		res.MatVecSteps += r.MatVecSteps
+		res.MatMatSteps += r.MatMatSteps
+		pending = circuit.New(p.NQubits)
+		return nil
+	}
+
+	for i, op := range p.Ops {
+		switch op.Kind {
+		case OpGate:
+			if op.Cond != nil && classical&op.Cond.Mask != op.Cond.Value {
+				continue
+			}
+			pending.Append(op.Gate)
+		case OpMeasure:
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("dynamic: op %d: %w", i, err)
+			}
+			bit, post := eng.MeasureQubit(state, op.Qubit, rng)
+			state = post
+			classical &^= 1 << uint(op.Clbit)
+			classical |= uint64(bit) << uint(op.Clbit)
+			res.Measurements++
+		case OpReset:
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("dynamic: op %d: %w", i, err)
+			}
+			_, post := eng.ResetQubit(state, op.Qubit, rng)
+			state = post
+			res.Measurements++
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	res.State = state
+	res.Classical = classical
+	res.Duration = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package dynamic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/gates"
+)
+
+func g(name string, m gates.Matrix, target int) circuit.Gate {
+	return circuit.Gate{Name: name, Matrix: m, Target: target}
+}
+
+func TestUnitaryOnlyProgramMatchesCore(t *testing.T) {
+	p := New(2, 0)
+	p.Gate(g("h", gates.H, 0))
+	p.Gate(circuit.Gate{Name: "x", Matrix: gates.X, Target: 1,
+		Controls: []dd.Control{dd.Pos(0)}})
+	res, err := p.Run(core.Options{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := 1 / math.Sqrt2
+	if a := res.State.Amplitude(0); math.Abs(real(a)-w) > 1e-9 {
+		t.Fatalf("Bell amplitude %v", a)
+	}
+	if a := res.State.Amplitude(3); math.Abs(real(a)-w) > 1e-9 {
+		t.Fatalf("Bell amplitude %v", a)
+	}
+}
+
+func TestMeasureCollapsesAndRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	zeros, ones := 0, 0
+	for i := 0; i < 400; i++ {
+		p := New(2, 1)
+		p.Gate(g("h", gates.H, 0))
+		p.Gate(circuit.Gate{Name: "x", Matrix: gates.X, Target: 1, Controls: []dd.Control{dd.Pos(0)}})
+		p.Measure(0, 0)
+		res, err := p.Run(core.Options{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bit := int(res.Classical & 1)
+		if bit == 0 {
+			zeros++
+		} else {
+			ones++
+		}
+		// Qubit 1 must be perfectly correlated after the collapse.
+		if pq := res.State.Prob(1, bit); math.Abs(pq-1) > 1e-9 {
+			t.Fatalf("correlation broken: P(q1=%d)=%v", bit, pq)
+		}
+	}
+	if zeros < 100 || ones < 100 {
+		t.Fatalf("measurement statistics off: %d zeros, %d ones", zeros, ones)
+	}
+}
+
+func TestConditionalGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		// Measure a |+> qubit, then conditionally flip qubit 1 so it
+		// always ends equal to the measured bit; finally verify.
+		p := New(2, 1)
+		p.Gate(g("h", gates.H, 0))
+		p.Measure(0, 0)
+		p.GateIf(g("x", gates.X, 1), 1, 1)
+		res, err := p.Run(core.Options{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bit := int(res.Classical & 1)
+		if pq := res.State.Prob(1, bit); math.Abs(pq-1) > 1e-9 {
+			t.Fatalf("conditional X not applied correctly: bit=%d P=%v", bit, pq)
+		}
+	}
+}
+
+func TestResetProducesZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		p := New(1, 0)
+		p.Gate(g("h", gates.H, 0))
+		p.Reset(0)
+		res, err := p.Run(core.Options{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pq := res.State.Prob(0, 0); math.Abs(pq-1) > 1e-9 {
+			t.Fatalf("reset left P(0)=%v", pq)
+		}
+	}
+}
+
+func TestTeleportation(t *testing.T) {
+	// Teleport an arbitrary single-qubit state from qubit 0 to qubit 2
+	// using measurements and classically-controlled corrections — the
+	// canonical dynamic-circuit integration test.
+	rng := rand.New(rand.NewSource(5))
+	theta, phi, lam := 0.731, 1.21, 0.4
+	for i := 0; i < 30; i++ {
+		p := New(3, 2)
+		// Prepare the payload on qubit 0.
+		p.Gate(circuit.Gate{Name: "u", Matrix: gates.U(theta, phi, lam), Target: 0})
+		// Bell pair on qubits 1, 2.
+		p.Gate(g("h", gates.H, 1))
+		p.Gate(circuit.Gate{Name: "x", Matrix: gates.X, Target: 2, Controls: []dd.Control{dd.Pos(1)}})
+		// Bell measurement of qubits 0, 1.
+		p.Gate(circuit.Gate{Name: "x", Matrix: gates.X, Target: 1, Controls: []dd.Control{dd.Pos(0)}})
+		p.Gate(g("h", gates.H, 0))
+		p.Measure(0, 0)
+		p.Measure(1, 1)
+		// Corrections on qubit 2.
+		p.GateIf(g("x", gates.X, 2), 0b10, 0b10)
+		p.GateIf(g("z", gates.Z, 2), 0b01, 0b01)
+		res, err := p.Run(core.Options{Strategy: core.KOperations{K: 2}}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Qubit 2 must now hold U|0>: P(q2=1) = |U10|².
+		u := gates.U(theta, phi, lam)
+		want := real(u[1][0])*real(u[1][0]) + imag(u[1][0])*imag(u[1][0])
+		if got := res.State.Prob(2, 1); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("teleportation failed: P(q2=1)=%v, want %v", got, want)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []*Program{
+		func() *Program { p := New(1, 0); p.Gate(g("x", gates.X, 5)); return p }(),
+		func() *Program { p := New(1, 0); p.Measure(0, 0); return p }(), // no clbits
+		func() *Program { p := New(1, 1); p.Measure(3, 0); return p }(),
+		func() *Program { p := New(1, 1); p.Reset(3); return p }(),
+		func() *Program {
+			p := New(1, 1)
+			p.GateIf(g("x", gates.X, 0), 0b10, 0) // mask beyond register
+			return p
+		}(),
+		func() *Program {
+			p := New(1, 0)
+			p.Gate(circuit.Gate{Name: "bad", Matrix: gates.Matrix{{2, 0}, {0, 1}}, Target: 0})
+			return p
+		}(),
+		func() *Program {
+			p := New(2, 0)
+			p.Gate(circuit.Gate{Name: "x", Matrix: gates.X, Target: 0, Controls: []dd.Control{dd.Pos(0)}})
+			return p
+		}(),
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid program accepted", i)
+		}
+	}
+	mustPanic(t, func() { New(0, 0) })
+	mustPanic(t, func() { New(1, 65) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestRunRejectsInitialState(t *testing.T) {
+	p := New(1, 0)
+	p.Gate(g("h", gates.H, 0))
+	eng := dd.New()
+	init := eng.ZeroState(1)
+	_, err := p.Run(core.Options{Engine: eng, InitialState: &init}, rand.New(rand.NewSource(1)))
+	if err == nil {
+		t.Fatal("InitialState accepted")
+	}
+}

@@ -1,0 +1,172 @@
+// Package gates defines the 2×2 unitary matrices of the elementary
+// quantum operations used by the circuit layer and the benchmark
+// generators, together with unitarity checks.
+//
+// Matrices are indexed [row][col] and act on a single target qubit;
+// controls are expressed at the circuit/DD layer, not here.
+package gates
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Matrix is a 2×2 complex matrix, indexed [row][col].
+type Matrix [2][2]complex128
+
+// The constant elementary gates.
+var (
+	// I is the identity.
+	I = Matrix{{1, 0}, {0, 1}}
+	// X is the Pauli-X (NOT) gate.
+	X = Matrix{{0, 1}, {1, 0}}
+	// Y is the Pauli-Y gate.
+	Y = Matrix{{0, complex(0, -1)}, {complex(0, 1), 0}}
+	// Z is the Pauli-Z gate.
+	Z = Matrix{{1, 0}, {0, -1}}
+	// H is the Hadamard gate.
+	H = Matrix{{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+		{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)}}
+	// S is the phase gate diag(1, i).
+	S = Matrix{{1, 0}, {0, complex(0, 1)}}
+	// Sdg is S†, diag(1, -i).
+	Sdg = Matrix{{1, 0}, {0, complex(0, -1)}}
+	// T is the π/8 gate diag(1, e^{iπ/4}).
+	T = Matrix{{1, 0}, {0, cmplx.Exp(complex(0, math.Pi/4))}}
+	// Tdg is T†.
+	Tdg = Matrix{{1, 0}, {0, cmplx.Exp(complex(0, -math.Pi/4))}}
+	// SX is √X, used by the supremacy circuits (often written X^{1/2}).
+	SX = Matrix{{complex(0.5, 0.5), complex(0.5, -0.5)},
+		{complex(0.5, -0.5), complex(0.5, 0.5)}}
+	// SY is √Y, used by the supremacy circuits (Y^{1/2}).
+	SY = Matrix{{complex(0.5, 0.5), complex(-0.5, -0.5)},
+		{complex(0.5, 0.5), complex(0.5, 0.5)}}
+	// SXdg is (√X)†.
+	SXdg = Matrix{{complex(0.5, -0.5), complex(0.5, 0.5)},
+		{complex(0.5, 0.5), complex(0.5, -0.5)}}
+	// SYdg is (√Y)†.
+	SYdg = Matrix{{complex(0.5, -0.5), complex(0.5, -0.5)},
+		{complex(-0.5, 0.5), complex(0.5, -0.5)}}
+)
+
+// Phase returns the phase gate diag(1, e^{iθ}) — the controlled version
+// is the workhorse of the QFT and the Draper adder.
+func Phase(theta float64) Matrix {
+	return Matrix{{1, 0}, {0, cmplx.Exp(complex(0, theta))}}
+}
+
+// RX returns the rotation exp(-iθX/2).
+func RX(theta float64) Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return Matrix{{c, s}, {s, c}}
+}
+
+// RY returns the rotation exp(-iθY/2).
+func RY(theta float64) Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return Matrix{{c, -s}, {s, c}}
+}
+
+// RZ returns the rotation exp(-iθZ/2).
+func RZ(theta float64) Matrix {
+	return Matrix{
+		{cmplx.Exp(complex(0, -theta/2)), 0},
+		{0, cmplx.Exp(complex(0, theta/2))},
+	}
+}
+
+// U returns the generic single-qubit gate with Euler angles (θ, φ, λ),
+// following the OpenQASM convention.
+func U(theta, phi, lambda float64) Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return Matrix{
+		{c, -cmplx.Exp(complex(0, lambda)) * s},
+		{cmplx.Exp(complex(0, phi)) * s, cmplx.Exp(complex(0, phi+lambda)) * c},
+	}
+}
+
+// Mul returns the matrix product a·b.
+func Mul(a, b Matrix) Matrix {
+	var r Matrix
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			r[i][j] = a[i][0]*b[0][j] + a[i][1]*b[1][j]
+		}
+	}
+	return r
+}
+
+// Adjoint returns the conjugate transpose of m.
+func Adjoint(m Matrix) Matrix {
+	var r Matrix
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			r[i][j] = cmplx.Conj(m[j][i])
+		}
+	}
+	return r
+}
+
+// IsUnitary reports whether m†m = I within tol.
+func IsUnitary(m Matrix, tol float64) bool {
+	p := Mul(Adjoint(m), m)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := complex(0, 0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(p[i][j]-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckUnitary returns an error describing the violation if m is not
+// unitary within tol.
+func CheckUnitary(m Matrix, tol float64) error {
+	if !IsUnitary(m, tol) {
+		return fmt.Errorf("gates: matrix %v is not unitary within %g", m, tol)
+	}
+	return nil
+}
+
+// ApproxEqual reports element-wise equality within tol, ignoring global
+// phase if ignorePhase is set.
+func ApproxEqual(a, b Matrix, tol float64, ignorePhase bool) bool {
+	if ignorePhase {
+		// Align on the first entry with significant magnitude.
+		var ref complex128
+		found := false
+		for i := 0; i < 2 && !found; i++ {
+			for j := 0; j < 2 && !found; j++ {
+				if cmplx.Abs(a[i][j]) > tol && cmplx.Abs(b[i][j]) > tol {
+					ref = a[i][j] / b[i][j]
+					ref /= complex(cmplx.Abs(ref), 0)
+					found = true
+				}
+			}
+		}
+		if found {
+			for i := 0; i < 2; i++ {
+				for j := 0; j < 2; j++ {
+					b[i][j] *= ref
+				}
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(a[i][j]-b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

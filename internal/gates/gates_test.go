@@ -1,0 +1,159 @@
+package gates
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllConstantsUnitary(t *testing.T) {
+	all := map[string]Matrix{
+		"I": I, "X": X, "Y": Y, "Z": Z, "H": H,
+		"S": S, "Sdg": Sdg, "T": T, "Tdg": Tdg,
+		"SX": SX, "SXdg": SXdg, "SY": SY, "SYdg": SYdg,
+	}
+	for name, m := range all {
+		if err := CheckUnitary(m, 1e-12); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParametricUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		th := rng.Float64()*4*math.Pi - 2*math.Pi
+		ph := rng.Float64() * 2 * math.Pi
+		la := rng.Float64() * 2 * math.Pi
+		for name, m := range map[string]Matrix{
+			"Phase": Phase(th), "RX": RX(th), "RY": RY(th), "RZ": RZ(th),
+			"U": U(th, ph, la),
+		} {
+			if err := CheckUnitary(m, 1e-12); err != nil {
+				t.Fatalf("%s(%v): %v", name, th, err)
+			}
+		}
+	}
+}
+
+func TestSquareRoots(t *testing.T) {
+	if !ApproxEqual(Mul(SX, SX), X, 1e-12, false) {
+		t.Error("SX² != X")
+	}
+	if !ApproxEqual(Mul(SY, SY), Y, 1e-12, false) {
+		t.Error("SY² != Y")
+	}
+	if !ApproxEqual(Mul(SX, SXdg), I, 1e-12, false) {
+		t.Error("SX·SX† != I")
+	}
+	if !ApproxEqual(Mul(SY, SYdg), I, 1e-12, false) {
+		t.Error("SY·SY† != I")
+	}
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Matrix
+		want Matrix
+	}{
+		{"HH=I", Mul(H, H), I},
+		{"XX=I", Mul(X, X), I},
+		{"SS=Z", Mul(S, S), Z},
+		{"TT=S", Mul(T, T), S},
+		{"S·Sdg=I", Mul(S, Sdg), I},
+		{"T·Tdg=I", Mul(T, Tdg), I},
+		{"HXH=Z", Mul(H, Mul(X, H)), Z},
+		{"HZH=X", Mul(H, Mul(Z, H)), X},
+	}
+	for _, c := range cases {
+		if !ApproxEqual(c.got, c.want, 1e-12, false) {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestPhaseSpecialCases(t *testing.T) {
+	if !ApproxEqual(Phase(math.Pi), Z, 1e-12, false) {
+		t.Error("P(π) != Z")
+	}
+	if !ApproxEqual(Phase(math.Pi/2), S, 1e-12, false) {
+		t.Error("P(π/2) != S")
+	}
+	if !ApproxEqual(Phase(math.Pi/4), T, 1e-12, false) {
+		t.Error("P(π/4) != T")
+	}
+}
+
+func TestRotationsUpToPhase(t *testing.T) {
+	// RZ(θ) equals P(θ) up to global phase.
+	if !ApproxEqual(RZ(1.234), Phase(1.234), 1e-12, true) {
+		t.Error("RZ vs Phase (ignoring phase)")
+	}
+	// RX(π) equals X up to global phase, RY(π) equals Y.
+	if !ApproxEqual(RX(math.Pi), X, 1e-12, true) {
+		t.Error("RX(π) vs X")
+	}
+	if !ApproxEqual(RY(math.Pi), Y, 1e-12, true) {
+		t.Error("RY(π) vs Y")
+	}
+}
+
+func TestUCovers(t *testing.T) {
+	if !ApproxEqual(U(math.Pi/2, 0, math.Pi), H, 1e-12, false) {
+		t.Error("U(π/2,0,π) != H")
+	}
+	if !ApproxEqual(U(math.Pi, 0, math.Pi), X, 1e-12, false) {
+		t.Error("U(π,0,π) != X")
+	}
+}
+
+func TestAdjointInvolution(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		m := U(a, b, c)
+		return ApproxEqual(Adjoint(Adjoint(m)), m, 1e-12, false) && (d == d || true)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		a := U(rng.Float64(), rng.Float64(), rng.Float64())
+		b := U(rng.Float64()*3, rng.Float64(), rng.Float64())
+		c := U(rng.Float64()*2, rng.Float64(), rng.Float64())
+		if !ApproxEqual(Mul(Mul(a, b), c), Mul(a, Mul(b, c)), 1e-12, false) {
+			t.Fatal("matrix multiplication not associative")
+		}
+	}
+}
+
+func TestIsUnitaryRejects(t *testing.T) {
+	bad := Matrix{{1, 0}, {0, 2}}
+	if IsUnitary(bad, 1e-9) {
+		t.Error("diag(1,2) accepted as unitary")
+	}
+	if err := CheckUnitary(bad, 1e-9); err == nil {
+		t.Error("CheckUnitary accepted a non-unitary matrix")
+	}
+}
+
+func TestApproxEqualPhaseHandling(t *testing.T) {
+	phase := cmplx.Exp(complex(0, 0.7))
+	var m Matrix
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			m[i][j] = H[i][j] * phase
+		}
+	}
+	if ApproxEqual(m, H, 1e-12, false) {
+		t.Error("global phase should matter when ignorePhase=false")
+	}
+	if !ApproxEqual(m, H, 1e-9, true) {
+		t.Error("global phase should be ignored when ignorePhase=true")
+	}
+}

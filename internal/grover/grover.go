@@ -1,0 +1,191 @@
+// Package grover generates Grover search circuits (Fig. 6 of the
+// paper): a uniform superposition over 2^n database indices followed by
+// repeated Grover iterations (oracle + diffusion), each iteration
+// recorded as a circuit Block so the DD-repeating strategy can combine
+// it once and re-use the matrix.
+//
+// The oracle is a phase oracle marking a single element x*: a
+// multi-controlled Z whose control polarities follow the bits of x*
+// (negative controls supported natively by the DD engine, so no
+// basis-flipping X conjugation is needed on the controls).
+package grover
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/dd"
+	"repro/internal/gates"
+)
+
+// Iterations returns the optimal iteration count ⌊π/4·√(2^n)⌋ (at least
+// 1), the count that maximises the success probability.
+func Iterations(n int) int {
+	k := int(math.Floor(math.Pi / 4 * math.Sqrt(float64(uint64(1)<<uint(n)))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// SuccessProbability returns the analytic probability sin²((2k+1)θ) of
+// measuring the marked element after k iterations, with
+// θ = asin(2^{-n/2}).
+func SuccessProbability(n, k int) float64 {
+	theta := math.Asin(1 / math.Sqrt(float64(uint64(1)<<uint(n))))
+	s := math.Sin(float64(2*k+1) * theta)
+	return s * s
+}
+
+// Circuit returns the Grover search circuit on n qubits for the marked
+// element, running `iterations` Grover iterations (pass 0 for the
+// optimal count). The iterations are recorded as the Block "grover-iter".
+func Circuit(n int, marked uint64, iterations int) *circuit.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("grover: need at least 2 qubits, got %d", n))
+	}
+	if n < 64 && marked >= 1<<uint(n) {
+		panic(fmt.Sprintf("grover: marked element %d out of range for %d qubits", marked, n))
+	}
+	if iterations <= 0 {
+		iterations = Iterations(n)
+	}
+	c := circuit.New(n)
+	c.Name = fmt.Sprintf("grover_%d", n)
+
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	c.Repeat("grover-iter", iterations, func(c *circuit.Circuit) {
+		appendOracle(c, n, marked)
+		appendDiffusion(c, n)
+	})
+	return c
+}
+
+// appendOracle flips the phase of |marked>. The Z target is qubit 0;
+// when bit 0 of marked is 0 it is conjugated by X so the active basis
+// state is still exactly |marked>.
+func appendOracle(c *circuit.Circuit, n int, marked uint64) {
+	controls := make([]dd.Control, 0, n-1)
+	for q := 1; q < n; q++ {
+		controls = append(controls, dd.Control{Qubit: q, Negative: marked>>uint(q)&1 == 0})
+	}
+	flip := marked&1 == 0
+	if flip {
+		c.X(0)
+	}
+	c.MC("z", gates.Z, controls, 0)
+	if flip {
+		c.X(0)
+	}
+}
+
+// appendDiffusion appends the inversion about the mean: H^n, a phase
+// flip of |0…0>, H^n.
+func appendDiffusion(c *circuit.Circuit, n int) {
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	controls := make([]dd.Control, 0, n-1)
+	for q := 1; q < n; q++ {
+		controls = append(controls, dd.Neg(q))
+	}
+	c.X(0)
+	c.MC("z", gates.Z, controls, 0)
+	c.X(0)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+}
+
+// OracleDD builds the oracle unitary directly as a diagonal DD — the
+// DD-construct analogue for Grover, used for validation and ablations.
+func OracleDD(eng *dd.Engine, n int, marked uint64) dd.MEdge {
+	return eng.FromDiagonal(n, func(x uint64) complex128 {
+		if x == marked {
+			return -1
+		}
+		return 1
+	})
+}
+
+// IterationDD combines one full Grover iteration (oracle followed by
+// diffusion) into a single matrix DD, built directly rather than from
+// the gate sequence.
+func IterationDD(eng *dd.Engine, n int, marked uint64) dd.MEdge {
+	oracle := OracleDD(eng, n, marked)
+	// Diffusion = H^n · (2|0><0| - I) · H^n; realise via gate DDs.
+	h := eng.Identity(n)
+	for q := 0; q < n; q++ {
+		h = eng.MulMat(eng.GateDD(gates.H, n, q, nil), h)
+	}
+	zero := eng.FromDiagonal(n, func(x uint64) complex128 {
+		if x == 0 {
+			return 1
+		}
+		return -1
+	})
+	diff := eng.MulMat(h, eng.MulMat(zero, h))
+	return eng.MulMat(diff, oracle)
+}
+
+// IterationsMulti returns the optimal iteration count
+// ⌊π/4·√(2^n/m)⌋ (at least 1) when m elements are marked.
+func IterationsMulti(n, m int) int {
+	if m < 1 {
+		panic(fmt.Sprintf("grover: IterationsMulti: marked count %d", m))
+	}
+	k := int(math.Floor(math.Pi / 4 * math.Sqrt(float64(uint64(1)<<uint(n))/float64(m))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// SuccessProbabilityMulti returns sin²((2k+1)θ) with θ = asin(√(m/2^n))
+// — the probability that a measurement yields *some* marked element
+// after k iterations.
+func SuccessProbabilityMulti(n, m, k int) float64 {
+	theta := math.Asin(math.Sqrt(float64(m) / float64(uint64(1)<<uint(n))))
+	s := math.Sin(float64(2*k+1) * theta)
+	return s * s
+}
+
+// CircuitMulti returns a Grover search marking a set of elements: the
+// oracle is one mixed-polarity multi-controlled Z per marked element.
+// iterations = 0 selects the optimal count for the set size.
+func CircuitMulti(n int, marked []uint64, iterations int) *circuit.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("grover: need at least 2 qubits, got %d", n))
+	}
+	if len(marked) == 0 {
+		panic("grover: CircuitMulti: no marked elements")
+	}
+	seen := make(map[uint64]bool, len(marked))
+	for _, x := range marked {
+		if n < 64 && x >= 1<<uint(n) {
+			panic(fmt.Sprintf("grover: marked element %d out of range for %d qubits", x, n))
+		}
+		if seen[x] {
+			panic(fmt.Sprintf("grover: marked element %d repeated", x))
+		}
+		seen[x] = true
+	}
+	if iterations <= 0 {
+		iterations = IterationsMulti(n, len(marked))
+	}
+	c := circuit.New(n)
+	c.Name = fmt.Sprintf("grover_multi_%d_%d", n, len(marked))
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	c.Repeat("grover-iter", iterations, func(c *circuit.Circuit) {
+		for _, x := range marked {
+			appendOracle(c, n, x)
+		}
+		appendDiffusion(c, n)
+	})
+	return c
+}

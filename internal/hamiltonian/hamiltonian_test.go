@@ -1,0 +1,196 @@
+package hamiltonian
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+)
+
+// entangledState prepares H on all qubits plus a few T and CX gates —
+// a structured but non-trivial initial state.
+func entangledState(eng *dd.Engine, n int) dd.VEdge {
+	h := [2][2]complex128{
+		{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+		{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)},
+	}
+	x := [2][2]complex128{{0, 1}, {1, 0}}
+	tg := [2][2]complex128{{1, 0}, {0, complex(1/math.Sqrt2, 1/math.Sqrt2)}}
+	v := eng.ZeroState(n)
+	for q := 0; q < n; q++ {
+		v = eng.MulVec(eng.GateDD(h, n, q, nil), v)
+	}
+	v = eng.MulVec(eng.GateDD(tg, n, 1, nil), v)
+	v = eng.MulVec(eng.GateDD(x, n, 2, []dd.Control{dd.Pos(0)}), v)
+	return v
+}
+
+func TestTrotterCircuitStructure(t *testing.T) {
+	m := TFIM{Sites: 5, J: 1, H: 0.5}
+	c, err := m.TrotterCircuit(1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Blocks) != 1 || c.Blocks[0].Repeat != 4 {
+		t.Fatalf("blocks %+v", c.Blocks)
+	}
+	// Per step: 4 bonds × 3 gates + 5 RX = 17 gates.
+	body := c.Blocks[0].End - c.Blocks[0].Start
+	if body != 17 {
+		t.Fatalf("step body %d gates, want 17", body)
+	}
+	if c.GateCount() != 4*17 {
+		t.Fatalf("gate count %d", c.GateCount())
+	}
+}
+
+func TestTrotterErrors(t *testing.T) {
+	if _, err := (TFIM{Sites: 1}).TrotterCircuit(1, 1); err == nil {
+		t.Error("1 site accepted")
+	}
+	if _, err := (TFIM{Sites: 3}).TrotterCircuit(1, 0); err == nil {
+		t.Error("0 steps accepted")
+	}
+	eng := dd.New()
+	if _, err := (TFIM{Sites: 3, H: 1}).DiagonalEvolutionDD(eng, 1); err == nil {
+		t.Error("diagonal evolution with transverse field accepted")
+	}
+}
+
+// For h = 0 the Hamiltonian is diagonal and Trotterisation is exact:
+// the gate circuit must equal the directly constructed evolution
+// operator (the DD-construct idea applied to time evolution).
+func TestClassicalIsingEvolutionExact(t *testing.T) {
+	for _, periodic := range []bool{false, true} {
+		m := TFIM{Sites: 5, J: 0.7, Periodic: periodic}
+		eng := dd.New()
+		// A well-entangled initial state: uniform superposition with a
+		// few phases.
+		init := entangledState(eng, 5)
+		c, err := m.TrotterCircuit(1.3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(c, core.Options{Engine: eng, InitialState: &init, UseBlocks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactOp, err := m.DiagonalEvolutionDD(eng, 1.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := eng.MulVec(exactOp, init)
+		if f := eng.Fidelity(res.State, exact); f < 1-1e-9 {
+			t.Fatalf("periodic=%v: Trotter vs exact diagonal evolution: fidelity %v", periodic, f)
+		}
+	}
+}
+
+// TestTrotterConvergence: with a transverse field the Trotter error
+// must shrink as steps grow (first-order: error ~ t²/steps).
+func TestTrotterConvergence(t *testing.T) {
+	m := TFIM{Sites: 4, J: 1, H: 0.8}
+	eng := dd.New()
+	run := func(steps int) dd.VEdge {
+		c, err := m.TrotterCircuit(0.9, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(c, core.Options{Engine: eng, UseBlocks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.State
+	}
+	ref := run(128) // quasi-exact
+	fid1 := eng.Fidelity(run(1), ref)
+	fid4 := eng.Fidelity(run(4), ref)
+	fid16 := eng.Fidelity(run(16), ref)
+	if !(fid1 < fid4 && fid4 < fid16 && fid16 <= 1+1e-9) {
+		t.Fatalf("Trotter error not decreasing: %v, %v, %v", fid1, fid4, fid16)
+	}
+	if fid16 < 0.99 {
+		t.Fatalf("16 steps still far off: fidelity %v", fid16)
+	}
+}
+
+func TestEnergyObservables(t *testing.T) {
+	eng := dd.New()
+	m := TFIM{Sites: 4, J: 1, H: 0.5}
+	// |0000>: all spins up, <Z_iZ_j> = 1, <X_i> = 0 → E = -J·(bonds).
+	ground := eng.ZeroState(4)
+	e, err := m.Energy(eng, ground)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-(-3)) > 1e-9 {
+		t.Fatalf("E(|0000>) = %v, want -3", e)
+	}
+	// |+>^4: <ZZ> = 0, <X> = 1 → E = -h·n = -2.
+	plus := ground
+	for q := 0; q < 4; q++ {
+		plus = eng.MulVec(eng.GateDD([2][2]complex128{
+			{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+			{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)},
+		}, 4, q, nil), plus)
+	}
+	e, err = m.Energy(eng, plus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-(-2)) > 1e-9 {
+		t.Fatalf("E(|+>^4) = %v, want -2", e)
+	}
+	// Dimension mismatch must error.
+	if _, err := m.Energy(eng, eng.ZeroState(3)); err == nil {
+		t.Fatal("span mismatch accepted")
+	}
+}
+
+// Energy is conserved under exact (h=0) evolution.
+func TestEnergyConservation(t *testing.T) {
+	m := TFIM{Sites: 5, J: 1}
+	eng := dd.New()
+	init := entangledState(eng, 5)
+	e0, err := m.Energy(eng, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := m.DiagonalEvolutionDD(eng, 2.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evolved := eng.MulVec(op, init)
+	e1, err := m.Energy(eng, evolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e0-e1) > 1e-9 {
+		t.Fatalf("energy not conserved: %v -> %v", e0, e1)
+	}
+}
+
+// TestDDRepeatingOnTrotter confirms time evolution is a natural
+// DD-repeating workload: one combined step matrix, re-used per step.
+func TestDDRepeatingOnTrotter(t *testing.T) {
+	m := TFIM{Sites: 6, J: 1, H: 0.3}
+	c, err := m.TrotterCircuit(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(c, core.Options{UseBlocks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := c.Blocks[0].End - c.Blocks[0].Start
+	if res.MatMatSteps != body-1 {
+		t.Fatalf("matmat steps %d, want %d (one combined step)", res.MatMatSteps, body-1)
+	}
+	if res.MatVecSteps != 20 {
+		t.Fatalf("matvec steps %d, want 20", res.MatVecSteps)
+	}
+}

@@ -1,0 +1,219 @@
+// Package mathutil collects the elementary number theory needed by
+// Shor's algorithm: modular arithmetic, continued fractions for the
+// order-extraction post-processing, and small helpers for choosing
+// benchmark instances.
+package mathutil
+
+import "fmt"
+
+// GCD returns the greatest common divisor of a and b.
+func GCD(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// MulMod returns a·b mod m without overflow for m < 2^32 via direct
+// multiplication and otherwise via binary (Russian-peasant)
+// multiplication.
+func MulMod(a, b, m uint64) uint64 {
+	if m == 0 {
+		panic("mathutil: MulMod: modulus 0")
+	}
+	a %= m
+	b %= m
+	if m <= 1<<32 {
+		return a * b % m
+	}
+	var r uint64
+	for b > 0 {
+		if b&1 == 1 {
+			r = (r + a) % m
+		}
+		a = (a + a) % m
+		b >>= 1
+	}
+	return r
+}
+
+// PowMod returns base^exp mod m.
+func PowMod(base, exp, m uint64) uint64 {
+	if m == 0 {
+		panic("mathutil: PowMod: modulus 0")
+	}
+	if m == 1 {
+		return 0
+	}
+	r := uint64(1)
+	base %= m
+	for exp > 0 {
+		if exp&1 == 1 {
+			r = MulMod(r, base, m)
+		}
+		base = MulMod(base, base, m)
+		exp >>= 1
+	}
+	return r
+}
+
+// InvMod returns the multiplicative inverse of a modulo m, or an error
+// if gcd(a, m) != 1.
+func InvMod(a, m uint64) (uint64, error) {
+	if m == 0 {
+		return 0, fmt.Errorf("mathutil: InvMod: modulus 0")
+	}
+	// Extended Euclid on signed accumulators.
+	g, x, _ := extGCD(int64(a%m), int64(m))
+	if g != 1 {
+		return 0, fmt.Errorf("mathutil: InvMod: %d has no inverse mod %d (gcd %d)", a, m, g)
+	}
+	xm := x % int64(m)
+	if xm < 0 {
+		xm += int64(m)
+	}
+	return uint64(xm), nil
+}
+
+func extGCD(a, b int64) (g, x, y int64) {
+	if b == 0 {
+		return a, 1, 0
+	}
+	g, x1, y1 := extGCD(b, a%b)
+	return g, y1, x1 - (a/b)*y1
+}
+
+// MultiplicativeOrder returns the least r > 0 with a^r ≡ 1 (mod n), or
+// an error if a and n are not coprime. The search is linear in r and
+// intended for the moderate n of the benchmarks.
+func MultiplicativeOrder(a, n uint64) (uint64, error) {
+	if n <= 1 {
+		return 0, fmt.Errorf("mathutil: MultiplicativeOrder: modulus %d", n)
+	}
+	if GCD(a, n) != 1 {
+		return 0, fmt.Errorf("mathutil: MultiplicativeOrder: gcd(%d,%d) != 1", a, n)
+	}
+	v := a % n
+	for r := uint64(1); r <= n; r++ {
+		if v == 1 {
+			return r, nil
+		}
+		v = MulMod(v, a, n)
+	}
+	return 0, fmt.Errorf("mathutil: MultiplicativeOrder: no order found for %d mod %d", a, n)
+}
+
+// BitLen returns the number of bits needed to represent v.
+func BitLen(v uint64) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// IsPrime reports primality by trial division (sufficient for the
+// benchmark instance sizes).
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for d := uint64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Convergent is one continued-fraction convergent p/q.
+type Convergent struct {
+	P, Q uint64
+}
+
+// ContinuedFraction returns the convergents of num/den (den > 0) with
+// denominators bounded by maxQ — the classical post-processing step of
+// Shor's algorithm that recovers the order r from a phase estimate
+// y/2^m ≈ k/r.
+func ContinuedFraction(num, den, maxQ uint64) []Convergent {
+	if den == 0 {
+		panic("mathutil: ContinuedFraction: zero denominator")
+	}
+	var out []Convergent
+	// p/q convergents via the standard recurrence with seeds
+	// p_{-2}/q_{-2} = 0/1 and p_{-1}/q_{-1} = 1/0.
+	var p0, q0, p1, q1 uint64 = 0, 1, 1, 0
+	a, b := num, den
+	for b != 0 {
+		k := a / b
+		a, b = b, a%b
+		p0, p1 = p1, k*p1+p0
+		q0, q1 = q1, k*q1+q0
+		if q1 > maxQ {
+			break
+		}
+		out = append(out, Convergent{P: p1, Q: q1})
+	}
+	return out
+}
+
+// OrderFromPhase recovers a candidate order r from the measured phase
+// y/2^m using continued fractions, verifying a^r ≡ 1 (mod n). It
+// returns 0 if no denominator works. Candidates that are a divisor of
+// the true order are expanded by small multiples, the standard fix-up.
+func OrderFromPhase(y uint64, m int, a, n uint64) uint64 {
+	if y == 0 {
+		return 0
+	}
+	den := uint64(1) << uint(m)
+	for _, c := range ContinuedFraction(y, den, n) {
+		if c.Q == 0 {
+			continue
+		}
+		for mult := uint64(1); mult <= 8; mult++ {
+			r := c.Q * mult
+			if r == 0 || r > n {
+				break
+			}
+			if PowMod(a, r, n) == 1 {
+				return r
+			}
+		}
+	}
+	return 0
+}
+
+// FactorsFromOrder derives non-trivial factors of n from an even order
+// r of a (the classical end of Shor's algorithm). ok is false when the
+// order is odd or yields only trivial factors.
+func FactorsFromOrder(a, r, n uint64) (p, q uint64, ok bool) {
+	if r == 0 || r%2 != 0 {
+		return 0, 0, false
+	}
+	x := PowMod(a, r/2, n)
+	if x == n-1 || x == 1 {
+		return 0, 0, false
+	}
+	p = GCD(x+1, n)
+	q = GCD(x+n-1, n)
+	if p == 1 || p == n {
+		if q == 1 || q == n {
+			return 0, 0, false
+		}
+		return q, n / q, true
+	}
+	return p, n / p, true
+}
+
+// RandomCoprimes returns all a in [2, n) with gcd(a, n) = 1 (for
+// deterministic benchmark instance selection).
+func RandomCoprimes(n uint64) []uint64 {
+	var out []uint64
+	for a := uint64(2); a < n; a++ {
+		if GCD(a, n) == 1 {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package mathutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0}, {0, 5, 5}, {5, 0, 5}, {12, 18, 6}, {17, 13, 1}, {100, 75, 25},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGCDCommutesProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return GCD(uint64(a), uint64(b)) == GCD(uint64(b), uint64(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulMod(t *testing.T) {
+	if got := MulMod(7, 8, 5); got != 1 {
+		t.Errorf("7*8 mod 5 = %d, want 1", got)
+	}
+	// Large modulus path (no overflow).
+	big := uint64(1) << 62
+	if got := MulMod(big-1, big-1, big); got != 1 {
+		t.Errorf("(2^62-1)^2 mod 2^62 = %d, want 1", got)
+	}
+}
+
+func TestPowMod(t *testing.T) {
+	cases := []struct{ b, e, m, want uint64 }{
+		{2, 10, 1000, 24},
+		{7, 0, 13, 1},
+		{7, 4, 15, 1}, // order of 7 mod 15 is 4
+		{3, 5, 1, 0},
+	}
+	for _, c := range cases {
+		if got := PowMod(c.b, c.e, c.m); got != c.want {
+			t.Errorf("PowMod(%d,%d,%d) = %d, want %d", c.b, c.e, c.m, got, c.want)
+		}
+	}
+}
+
+func TestInvMod(t *testing.T) {
+	inv, err := InvMod(7, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MulMod(7, inv, 15) != 1 {
+		t.Errorf("7*%d mod 15 != 1", inv)
+	}
+	if _, err := InvMod(6, 15); err == nil {
+		t.Error("InvMod(6,15) should fail (gcd 3)")
+	}
+	if _, err := InvMod(3, 0); err == nil {
+		t.Error("InvMod with modulus 0 should fail")
+	}
+}
+
+func TestInvModProperty(t *testing.T) {
+	f := func(a uint16, m uint16) bool {
+		mm := uint64(m)%1000 + 2
+		aa := uint64(a)%mm + 1
+		if GCD(aa, mm) != 1 {
+			return true
+		}
+		inv, err := InvMod(aa, mm)
+		return err == nil && MulMod(aa, inv, mm) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplicativeOrder(t *testing.T) {
+	cases := []struct{ a, n, want uint64 }{
+		{7, 15, 4},
+		{2, 15, 4},
+		{4, 15, 2},
+		{2, 21, 6},
+		{5, 21, 6},
+	}
+	for _, c := range cases {
+		got, err := MultiplicativeOrder(c.a, c.n)
+		if err != nil {
+			t.Fatalf("order(%d mod %d): %v", c.a, c.n, err)
+		}
+		if got != c.want {
+			t.Errorf("order(%d mod %d) = %d, want %d", c.a, c.n, got, c.want)
+		}
+	}
+	if _, err := MultiplicativeOrder(6, 15); err == nil {
+		t.Error("order of non-coprime should fail")
+	}
+}
+
+func TestOrderDefinitionProperty(t *testing.T) {
+	// For every returned r: a^r = 1 and a^k != 1 for 0 < k < r.
+	for n := uint64(3); n < 60; n++ {
+		for _, a := range RandomCoprimes(n) {
+			r, err := MultiplicativeOrder(a, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if PowMod(a, r, n) != 1 {
+				t.Fatalf("a=%d n=%d r=%d: a^r != 1", a, n, r)
+			}
+			for k := uint64(1); k < r; k++ {
+				if PowMod(a, k, n) == 1 {
+					t.Fatalf("a=%d n=%d: order %d not minimal (k=%d)", a, n, r, k)
+				}
+			}
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {15, 4}, {16, 5}, {1 << 40, 41}}
+	for _, c := range cases {
+		if got := BitLen(c.v); got != c.want {
+			t.Errorf("BitLen(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := []uint64{2, 3, 5, 7, 11, 13, 101, 1009}
+	composites := []uint64{0, 1, 4, 9, 15, 21, 1001}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false", p)
+		}
+	}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true", c)
+		}
+	}
+}
+
+func TestContinuedFraction(t *testing.T) {
+	// 649/200 = [3;4,12,4]; convergents 3/1, 13/4, 159/49, 649/200.
+	cs := ContinuedFraction(649, 200, 1000)
+	want := []Convergent{{3, 1}, {13, 4}, {159, 49}, {649, 200}}
+	if len(cs) != len(want) {
+		t.Fatalf("convergents %v, want %v", cs, want)
+	}
+	for i := range cs {
+		if cs[i] != want[i] {
+			t.Fatalf("convergent %d = %v, want %v", i, cs[i], want[i])
+		}
+	}
+	// Denominator bound respected.
+	cs = ContinuedFraction(649, 200, 40)
+	for _, c := range cs {
+		if c.Q > 40 {
+			t.Fatalf("convergent %v exceeds bound", c)
+		}
+	}
+}
+
+func TestOrderFromPhase(t *testing.T) {
+	// For N=15, a=7 the order is 4: an 8-bit phase estimate of k/4
+	// (k = 1 → y = 64) must recover r = 4.
+	if r := OrderFromPhase(64, 8, 7, 15); r != 4 {
+		t.Errorf("OrderFromPhase(64/256) = %d, want 4", r)
+	}
+	// k=2 → y=128 gives the divisor 2; the multiple expansion must
+	// still recover a working order.
+	if r := OrderFromPhase(128, 8, 7, 15); r == 0 || PowMod(7, r, 15) != 1 {
+		t.Errorf("OrderFromPhase(128/256) = %d", r)
+	}
+	if r := OrderFromPhase(0, 8, 7, 15); r != 0 {
+		t.Errorf("zero phase should fail, got %d", r)
+	}
+}
+
+func TestFactorsFromOrder(t *testing.T) {
+	p, q, ok := FactorsFromOrder(7, 4, 15)
+	if !ok {
+		t.Fatal("factoring 15 with order 4 failed")
+	}
+	if p*q != 15 || p == 1 || q == 1 {
+		t.Fatalf("factors %d, %d", p, q)
+	}
+	// Odd order fails.
+	if _, _, ok := FactorsFromOrder(2, 3, 15); ok {
+		t.Error("odd order should fail")
+	}
+	// a^(r/2) = -1 fails (trivial).
+	if _, _, ok := FactorsFromOrder(14, 2, 15); ok {
+		t.Error("a^(r/2) = -1 should fail")
+	}
+}
+
+func TestRandomCoprimes(t *testing.T) {
+	cs := RandomCoprimes(15)
+	for _, a := range cs {
+		if GCD(a, 15) != 1 {
+			t.Fatalf("%d not coprime to 15", a)
+		}
+	}
+	// φ(15) = 8, minus 1 (we exclude a=1): 7 entries.
+	if len(cs) != 7 {
+		t.Fatalf("coprimes of 15 = %v (len %d), want 7 entries", cs, len(cs))
+	}
+}

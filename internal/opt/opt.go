@@ -1,0 +1,233 @@
+// Package opt implements peephole circuit optimisation: cancellation
+// of adjacent inverse gate pairs, merging of adjacent rotations on the
+// same wires, and removal of identity gates. "Adjacent" is understood
+// up to gates on disjoint qubits (which trivially commute), so the
+// passes catch pairs separated by unrelated gates.
+//
+// Optimised circuits are bit-identical in behaviour; the test suite
+// verifies every pass against the DD-based equivalence checker. Fewer
+// gates mean fewer multiplications for every simulation strategy, so
+// the optimiser composes naturally with the paper's combination
+// machinery.
+package opt
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// Stats reports what an optimisation run did.
+type Stats struct {
+	CancelledPairs  int
+	MergedRotations int
+	DroppedIdentity int
+	Passes          int
+}
+
+// Removed returns the total number of gates eliminated.
+func (s Stats) Removed() int {
+	return 2*s.CancelledPairs + s.MergedRotations + s.DroppedIdentity
+}
+
+// Optimize rewrites the circuit to a fixed point of the three peephole
+// passes and returns the optimised copy with statistics. Blocks are
+// dropped (their gate ranges are generally invalidated by removals).
+func Optimize(c *circuit.Circuit) (*circuit.Circuit, Stats) {
+	out := circuit.New(c.NQubits)
+	out.Name = c.Name
+	out.Gates = append([]circuit.Gate(nil), c.Gates...)
+	var total Stats
+	for {
+		changed := false
+		if n := cancelPass(out); n > 0 {
+			total.CancelledPairs += n
+			changed = true
+		}
+		if n := mergePass(out); n > 0 {
+			total.MergedRotations += n
+			changed = true
+		}
+		if n := identityPass(out); n > 0 {
+			total.DroppedIdentity += n
+			changed = true
+		}
+		total.Passes++
+		if !changed {
+			break
+		}
+	}
+	return out, total
+}
+
+// qubitsOf returns every wire a gate touches.
+func qubitsOf(g circuit.Gate) []int {
+	qs := []int{g.Target}
+	for _, c := range g.Controls {
+		qs = append(qs, c.Qubit)
+	}
+	return qs
+}
+
+// sameWires reports whether two gates act on identical wires in
+// identical roles (same target, same control set with polarities).
+func sameWires(a, b circuit.Gate) bool {
+	if a.Target != b.Target || len(a.Controls) != len(b.Controls) {
+		return false
+	}
+	// Control order is not semantically meaningful; compare as sets.
+	match := 0
+	for _, ca := range a.Controls {
+		for _, cb := range b.Controls {
+			if ca == cb {
+				match++
+				break
+			}
+		}
+	}
+	return match == len(a.Controls)
+}
+
+func isIdentityMatrix(m gates.Matrix, tol float64) bool {
+	return gates.ApproxEqual(m, gates.I, tol, false)
+}
+
+// cancelPass removes pairs g2·g1 = I on identical wires. Exact matrix
+// identity is required (not up-to-phase: a phase would become a
+// *relative* phase under controls).
+func cancelPass(c *circuit.Circuit) int {
+	removed := 0
+	keep := make([]circuit.Gate, 0, len(c.Gates))
+	last := make([]int, c.NQubits) // index into keep
+	for q := range last {
+		last[q] = -1
+	}
+	for _, g := range c.Gates {
+		cand := -1
+		ok := true
+		for _, q := range qubitsOf(g) {
+			l := last[q]
+			if l == -1 {
+				ok = false
+				break
+			}
+			if cand == -1 {
+				cand = l
+			} else if cand != l {
+				ok = false
+				break
+			}
+		}
+		if ok && cand >= 0 && sameWires(keep[cand], g) &&
+			isIdentityMatrix(gates.Mul(g.Matrix, keep[cand].Matrix), 1e-10) {
+			// Remove the partner; rebuild the last-index map, since
+			// earlier gates on these wires become exposed again.
+			keep = append(keep[:cand], keep[cand+1:]...)
+			removed++
+			rebuildLast(keep, last)
+			continue
+		}
+		keep = append(keep, g)
+		for _, q := range qubitsOf(g) {
+			last[q] = len(keep) - 1
+		}
+	}
+	c.Gates = keep
+	return removed
+}
+
+// rotationFamily reports whether a gate is angle-parametrised with
+// additive composition.
+func rotationFamily(name string) bool {
+	switch name {
+	case "p", "rx", "ry", "rz":
+		return true
+	}
+	return false
+}
+
+func rotationMatrix(name string, theta float64) gates.Matrix {
+	switch name {
+	case "p":
+		return gates.Phase(theta)
+	case "rx":
+		return gates.RX(theta)
+	case "ry":
+		return gates.RY(theta)
+	default:
+		return gates.RZ(theta)
+	}
+}
+
+// mergePass fuses adjacent same-family rotations on identical wires
+// into one gate with the summed angle.
+func mergePass(c *circuit.Circuit) int {
+	merged := 0
+	keep := make([]circuit.Gate, 0, len(c.Gates))
+	last := make([]int, c.NQubits)
+	for q := range last {
+		last[q] = -1
+	}
+	for _, g := range c.Gates {
+		if rotationFamily(g.Name) && len(g.Params) == 1 {
+			cand := -1
+			ok := true
+			for _, q := range qubitsOf(g) {
+				l := last[q]
+				if l == -1 {
+					ok = false
+					break
+				}
+				if cand == -1 {
+					cand = l
+				} else if cand != l {
+					ok = false
+					break
+				}
+			}
+			if ok && cand >= 0 && keep[cand].Name == g.Name &&
+				len(keep[cand].Params) == 1 && sameWires(keep[cand], g) {
+				theta := keep[cand].Params[0] + g.Params[0]
+				keep[cand].Params = []float64{theta}
+				keep[cand].Matrix = rotationMatrix(g.Name, theta)
+				merged++
+				continue
+			}
+		}
+		keep = append(keep, g)
+		for _, q := range qubitsOf(g) {
+			last[q] = len(keep) - 1
+		}
+	}
+	c.Gates = keep
+	return merged
+}
+
+// identityPass drops gates whose matrix is the identity (explicit "i"
+// gates, rotations merged to angle 0 or 4π, …).
+func identityPass(c *circuit.Circuit) int {
+	dropped := 0
+	keep := c.Gates[:0]
+	for _, g := range c.Gates {
+		if isIdentityMatrix(g.Matrix, 1e-10) {
+			dropped++
+			continue
+		}
+		// Rotations with angle ≈ 0 mod 4π are identities too; the matrix
+		// check above catches them, but angle-2π rotations are -I: keep
+		// those (global sign matters under controls).
+		keep = append(keep, g)
+	}
+	c.Gates = keep
+	return dropped
+}
+
+func rebuildLast(keep []circuit.Gate, last []int) {
+	for q := range last {
+		last[q] = -1
+	}
+	for i, g := range keep {
+		for _, q := range qubitsOf(g) {
+			last[q] = i
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/gates"
+)
+
+// assertEquivalent verifies via the DD checker that optimisation did
+// not change the unitary (exactly, not just up to phase — the passes
+// guarantee exact preservation).
+func assertEquivalent(t *testing.T, before, after *circuit.Circuit) {
+	t.Helper()
+	res, err := core.Equivalent(nil, before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatalf("optimisation changed the circuit (overlap %v)", res.HSOverlap)
+	}
+	if math.Abs(real(res.Phase)-1) > 1e-6 || math.Abs(imag(res.Phase)) > 1e-6 {
+		t.Fatalf("optimisation introduced a global phase %v", res.Phase)
+	}
+}
+
+func TestCancelAdjacentInverses(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).H(0)         // cancels
+	c.S(1).Sdg(1)       // cancels
+	c.CX(0, 1).CX(0, 1) // cancels
+	c.T(0)              // survives
+	out, stats := Optimize(c)
+	if out.GateCount() != 1 || out.Gates[0].Name != "t" {
+		t.Fatalf("optimised to %d gates: %v", out.GateCount(), out.String())
+	}
+	if stats.CancelledPairs != 3 {
+		t.Fatalf("cancelled %d pairs, want 3", stats.CancelledPairs)
+	}
+	assertEquivalent(t, c, out)
+}
+
+func TestCancelAcrossDisjointGates(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0)
+	c.X(1) // disjoint — must not block the H/H cancellation
+	c.T(2)
+	c.H(0)
+	out, stats := Optimize(c)
+	if stats.CancelledPairs != 1 {
+		t.Fatalf("cancelled %d pairs, want 1 (across disjoint gates)", stats.CancelledPairs)
+	}
+	if out.GateCount() != 2 {
+		t.Fatalf("gate count %d", out.GateCount())
+	}
+	assertEquivalent(t, c, out)
+}
+
+func TestNoCancelWhenBlocked(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0)
+	c.CX(0, 1) // touches qubit 0 — blocks
+	c.H(0)
+	out, stats := Optimize(c)
+	if stats.CancelledPairs != 0 || out.GateCount() != 3 {
+		t.Fatalf("blocked pair was cancelled: %+v", stats)
+	}
+}
+
+func TestCancelCascades(t *testing.T) {
+	// X S S† X: the inner pair exposes the outer one.
+	c := circuit.New(1)
+	c.X(0).S(0).Sdg(0).X(0)
+	out, stats := Optimize(c)
+	if out.GateCount() != 0 {
+		t.Fatalf("cascade not fully cancelled: %d gates", out.GateCount())
+	}
+	if stats.CancelledPairs != 2 {
+		t.Fatalf("cancelled %d pairs, want 2", stats.CancelledPairs)
+	}
+}
+
+func TestControlPolarityMatters(t *testing.T) {
+	c := circuit.New(2)
+	c.MC("x", gates.X, []dd.Control{dd.Pos(0)}, 1)
+	c.MC("x", gates.X, []dd.Control{dd.Neg(0)}, 1)
+	out, stats := Optimize(c)
+	if stats.CancelledPairs != 0 || out.GateCount() != 2 {
+		t.Fatal("gates with different control polarity were cancelled")
+	}
+}
+
+func TestMergeRotations(t *testing.T) {
+	c := circuit.New(2)
+	c.P(0.3, 0).P(0.5, 0)   // merge to P(0.8)
+	c.RZ(0.1, 1).RZ(0.2, 1) // merge to RZ(0.3)
+	out, stats := Optimize(c)
+	if stats.MergedRotations != 2 {
+		t.Fatalf("merged %d, want 2", stats.MergedRotations)
+	}
+	if out.GateCount() != 2 {
+		t.Fatalf("gate count %d: %s", out.GateCount(), out.String())
+	}
+	if got := out.Gates[0].Params[0]; math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("merged angle %v, want 0.8", got)
+	}
+	assertEquivalent(t, c, out)
+
+	// Exactly inverse rotations cancel outright (the cancel pass runs
+	// first and sees RZ(0.1)·RZ(-0.1) = I).
+	c2 := circuit.New(1)
+	c2.RZ(0.1, 0).RZ(-0.1, 0)
+	out2, stats2 := Optimize(c2)
+	if out2.GateCount() != 0 || stats2.Removed() != 2 {
+		t.Fatalf("inverse rotations not eliminated: %+v", stats2)
+	}
+}
+
+func TestMergeControlledRotations(t *testing.T) {
+	c := circuit.New(2)
+	c.CP(0.2, 0, 1).CP(0.3, 0, 1)
+	out, stats := Optimize(c)
+	if stats.MergedRotations != 1 || out.GateCount() != 1 {
+		t.Fatalf("controlled rotations not merged: %+v", stats)
+	}
+	assertEquivalent(t, c, out)
+}
+
+func TestDifferentFamiliesNotMerged(t *testing.T) {
+	c := circuit.New(1)
+	c.RX(0.2, 0).RZ(0.3, 0)
+	out, stats := Optimize(c)
+	if stats.MergedRotations != 0 || out.GateCount() != 2 {
+		t.Fatal("different rotation families merged")
+	}
+	_ = out
+}
+
+func TestIdentityGatesDropped(t *testing.T) {
+	c := circuit.New(2)
+	c.I(0).H(1).I(1).P(0, 0)
+	out, stats := Optimize(c)
+	// The three trivial gates vanish (attribution between the cancel
+	// and identity passes depends on adjacency; the total is what
+	// matters).
+	if stats.Removed() != 3 {
+		t.Fatalf("removed %d gates, want 3 (%+v)", stats.Removed(), stats)
+	}
+	if out.GateCount() != 1 || out.Gates[0].Name != "h" {
+		t.Fatalf("gate count %d", out.GateCount())
+	}
+}
+
+func TestRZ2PiKept(t *testing.T) {
+	// RZ(2π) = -I globally: must NOT be dropped (the sign is a relative
+	// phase under controls).
+	c := circuit.New(2)
+	c.MC("rz", gates.RZ(2*math.Pi), []dd.Control{dd.Pos(0)}, 1, 2*math.Pi)
+	out, _ := Optimize(c)
+	if out.GateCount() != 1 {
+		t.Fatal("controlled RZ(2π) was dropped")
+	}
+	assertEquivalent(t, c, out)
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := randomCircuitWithRedundancy(rng, 4, 60)
+	out, _ := Optimize(c)
+	out2, stats2 := Optimize(out)
+	if stats2.Removed() != 0 {
+		t.Fatalf("second optimisation still removed %d gates", stats2.Removed())
+	}
+	if out2.GateCount() != out.GateCount() {
+		t.Fatal("not idempotent")
+	}
+}
+
+// randomCircuitWithRedundancy plants cancellable structure.
+func randomCircuitWithRedundancy(rng *rand.Rand, n, length int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < length; i++ {
+		q := rng.Intn(n)
+		switch rng.Intn(7) {
+		case 0:
+			c.H(q).H(q)
+		case 1:
+			c.T(q)
+		case 2:
+			c.S(q).Sdg(q)
+		case 3:
+			p := (q + 1) % n
+			c.CX(q, p).CX(q, p)
+		case 4:
+			c.P(rng.Float64(), q).P(rng.Float64(), q)
+		case 5:
+			c.X(q)
+		default:
+			p := (q + 1) % n
+			c.CX(q, p)
+		}
+	}
+	return c
+}
+
+func TestOptimizeRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 8; trial++ {
+		c := randomCircuitWithRedundancy(rng, 3+rng.Intn(3), 40)
+		out, stats := Optimize(c)
+		if stats.Removed() == 0 {
+			t.Fatal("planted redundancy not found")
+		}
+		if out.GateCount() >= c.GateCount() {
+			t.Fatalf("no reduction: %d -> %d", c.GateCount(), out.GateCount())
+		}
+		assertEquivalent(t, c, out)
+		if err := out.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	c := circuit.New(1)
+	c.H(0).H(0)
+	before := c.GateCount()
+	Optimize(c)
+	if c.GateCount() != before {
+		t.Fatal("input circuit mutated")
+	}
+}
+
+func TestOptimizeSpeedsUpSimulation(t *testing.T) {
+	// The composition the package doc promises: fewer gates → fewer
+	// multiplications under every strategy.
+	rng := rand.New(rand.NewSource(3))
+	c := randomCircuitWithRedundancy(rng, 5, 80)
+	out, _ := Optimize(c)
+	resBefore, err := core.Run(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resAfter, err := core.Run(out, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resAfter.MatVecSteps >= resBefore.MatVecSteps {
+		t.Fatalf("no multiplication savings: %d vs %d", resAfter.MatVecSteps, resBefore.MatVecSteps)
+	}
+}

@@ -1,0 +1,163 @@
+package qasm
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/dynamic"
+)
+
+// ParseDynamic parses an OpenQASM 2.0 program into a dynamic.Program,
+// additionally supporting the non-unitary statements Parse rejects:
+// mid-circuit `measure`, `reset`, and classical control
+// `if (creg == value) gate …;`. Conditions compare one whole classical
+// register against an integer, as OpenQASM 2.0 specifies.
+func ParseDynamic(r io.Reader) (*dynamic.Program, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("qasm: read: %w", err)
+	}
+	return ParseDynamicString(string(src))
+}
+
+// ParseDynamicString parses a dynamic program from a string.
+func ParseDynamicString(src string) (*dynamic.Program, error) {
+	p := &parser{
+		qregs: map[string]reg{},
+		cregs: map[string]reg{},
+		defs:  map[string]gateDef{},
+	}
+	stmts, err := splitStatements(stripComments(src))
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range stmts {
+		if name, size, ok := parseRegDecl(s, "qreg"); ok {
+			if _, dup := p.qregs[name]; dup {
+				return nil, fmt.Errorf("qasm: duplicate qreg %q", name)
+			}
+			p.qregs[name] = reg{offset: p.nqubits, size: size}
+			p.qorder = append(p.qorder, name)
+			p.nqubits += size
+		}
+		if name, size, ok := parseRegDecl(s, "creg"); ok {
+			if _, dup := p.cregs[name]; dup {
+				return nil, fmt.Errorf("qasm: duplicate creg %q", name)
+			}
+			p.cregs[name] = reg{offset: p.nclbits, size: size}
+			p.corder = append(p.corder, name)
+			p.nclbits += size
+		}
+	}
+	if p.nqubits == 0 {
+		return nil, fmt.Errorf("qasm: no qreg declared")
+	}
+	if p.nclbits > 64 {
+		return nil, fmt.Errorf("qasm: %d classical bits exceed the 64-bit register", p.nclbits)
+	}
+	prog := dynamic.New(p.nqubits, p.nclbits)
+
+	// Unitary statements are routed through the standard parser by
+	// letting it append into a scratch circuit, then transferring the
+	// produced gates into the program (with the active condition).
+	p.prog = &Program{Circuit: circuit.New(p.nqubits)}
+
+	emit := func(cond *dynamic.Condition) {
+		c := p.prog.Circuit
+		for _, g := range c.Gates {
+			if cond != nil {
+				prog.GateIf(g, cond.Mask, cond.Value)
+			} else {
+				prog.Gate(g)
+			}
+		}
+		c.Gates = c.Gates[:0]
+	}
+
+	for _, s := range stmts {
+		switch {
+		case s == "" || strings.HasPrefix(s, "OPENQASM") || strings.HasPrefix(s, "include") ||
+			strings.HasPrefix(s, "qreg ") || strings.HasPrefix(s, "creg ") ||
+			strings.HasPrefix(s, "barrier"):
+			if strings.HasPrefix(s, "OPENQASM") {
+				ver := strings.TrimSpace(strings.TrimPrefix(s, "OPENQASM"))
+				if ver != "2.0" {
+					return nil, fmt.Errorf("qasm: unsupported version %q (only 2.0)", ver)
+				}
+			}
+		case strings.HasPrefix(s, "gate "):
+			if err := p.gateDefinition(s); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(s, "measure"):
+			before := len(p.prog.Measurements)
+			if err := p.measure(s); err != nil {
+				return nil, err
+			}
+			for _, m := range p.prog.Measurements[before:] {
+				prog.Measure(m.Qubit, m.Clbit)
+			}
+		case strings.HasPrefix(s, "reset"):
+			arg := strings.TrimSpace(strings.TrimPrefix(s, "reset"))
+			qs, err := p.resolveArg(arg, p.qregs)
+			if err != nil {
+				return nil, err
+			}
+			for _, q := range qs {
+				prog.Reset(q)
+			}
+		case strings.HasPrefix(s, "if"):
+			cond, rest, err := p.parseIf(s)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.application(rest, nil, nil, 0); err != nil {
+				return nil, err
+			}
+			emit(cond)
+		case strings.HasPrefix(s, "opaque"):
+			return nil, fmt.Errorf("qasm: opaque gates are not supported")
+		default:
+			if err := p.application(s, nil, nil, 0); err != nil {
+				return nil, err
+			}
+			emit(nil)
+		}
+	}
+	return prog, nil
+}
+
+// parseIf handles `if (creg == value) statement`.
+func (p *parser) parseIf(s string) (*dynamic.Condition, string, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(s, "if"))
+	if !strings.HasPrefix(rest, "(") {
+		return nil, "", fmt.Errorf("qasm: malformed if %q", abbreviate(s))
+	}
+	close := strings.IndexByte(rest, ')')
+	if close < 0 {
+		return nil, "", fmt.Errorf("qasm: missing ')' in %q", abbreviate(s))
+	}
+	condStr := rest[1:close]
+	stmt := strings.TrimSpace(rest[close+1:])
+	parts := strings.Split(condStr, "==")
+	if len(parts) != 2 {
+		return nil, "", fmt.Errorf("qasm: only '==' conditions are supported, got %q", condStr)
+	}
+	regName := strings.TrimSpace(parts[0])
+	r, ok := p.cregs[regName]
+	if !ok {
+		return nil, "", fmt.Errorf("qasm: unknown creg %q in condition", regName)
+	}
+	val, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 0, 64)
+	if err != nil {
+		return nil, "", fmt.Errorf("qasm: bad condition value in %q", condStr)
+	}
+	if r.size < 64 && val >= 1<<uint(r.size) {
+		return nil, "", fmt.Errorf("qasm: condition value %d exceeds %d-bit register %q", val, r.size, regName)
+	}
+	mask := (uint64(1)<<uint(r.size) - 1) << uint(r.offset)
+	return &dynamic.Condition{Mask: mask, Value: val << uint(r.offset)}, stmt, nil
+}

@@ -1,0 +1,163 @@
+package qasm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseDynamicTeleportation(t *testing.T) {
+	src := `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c0[1];
+creg c1[1];
+// payload
+u3(0.731,1.21,0.4) q[0];
+// bell pair
+h q[1];
+cx q[1],q[2];
+// bell measurement
+cx q[0],q[1];
+h q[0];
+measure q[0] -> c0[0];
+measure q[1] -> c1[0];
+// corrections
+if (c1 == 1) x q[2];
+if (c0 == 1) z q[2];
+`
+	prog, err := ParseDynamicString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.NQubits != 3 || prog.NClbits != 2 {
+		t.Fatalf("program dims %d/%d", prog.NQubits, prog.NClbits)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// |U10|² for u3(0.731,1.21,0.4)
+	want := math.Sin(0.731/2) * math.Sin(0.731/2)
+	for i := 0; i < 25; i++ {
+		res, err := prog.Run(core.Options{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.State.Prob(2, 1); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("teleportation via QASM failed: P = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseDynamicReset(t *testing.T) {
+	prog, err := ParseDynamicString(`
+qreg q[2];
+h q[0];
+reset q[0];
+reset q;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	res, err := prog.Run(core.Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.State.Prob(0, 0); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("reset failed: %v", p)
+	}
+}
+
+func TestParseDynamicConditionOnWideRegister(t *testing.T) {
+	// A 2-bit register condition compares the whole register.
+	src := `
+qreg q[3];
+creg c[2];
+x q[0];
+x q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+if (c == 3) x q[2];
+`
+	prog, err := ParseDynamicString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(core.Options{}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classical != 3 {
+		t.Fatalf("classical register %b, want 11", res.Classical)
+	}
+	if p := res.State.Prob(2, 1); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("conditioned X not applied: %v", p)
+	}
+	// Condition not met → gate skipped.
+	src2 := `
+qreg q[2];
+creg c[1];
+measure q[0] -> c[0];
+if (c == 1) x q[1];
+`
+	prog2, err := ParseDynamicString(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := prog2.Run(core.Options{}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res2.State.Prob(1, 0); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("unmet condition applied the gate: %v", p)
+	}
+}
+
+func TestParseDynamicErrors(t *testing.T) {
+	bad := []string{
+		"qreg q[1]; if c == 1 x q[0];",              // missing parens
+		"qreg q[1]; if (c == 1 x q[0];",             // missing ')'
+		"qreg q[1]; creg c[1]; if (c != 1) x q[0];", // unsupported operator
+		"qreg q[1]; if (d == 1) x q[0];",            // unknown creg
+		"qreg q[1]; creg c[1]; if (c == 2) x q[0];", // value exceeds width
+		"qreg q[1]; opaque o a;",                    // unsupported
+		"qreg q[1]; reset r[0];",                    // unknown register
+		"OPENQASM 3.0; qreg q[1];",                  // version
+	}
+	for _, src := range bad {
+		if _, err := ParseDynamicString(src); err == nil {
+			t.Errorf("ParseDynamicString(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseDynamicMatchesStaticForUnitary(t *testing.T) {
+	src := `
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+ccx q[0],q[1],q[2];
+t q[2];
+`
+	static, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := ParseDynamicString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dyn.Run(core.Options{}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.Run(static.Circuit, core.Options{Engine: res.Engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.Engine.Fidelity(res.State, ref.State); f < 1-1e-9 {
+		t.Fatalf("dynamic/static mismatch: fidelity %v", f)
+	}
+}

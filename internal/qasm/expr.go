@@ -1,0 +1,290 @@
+// Package qasm implements an OpenQASM 2.0 frontend for the simulator:
+// a parser covering the language subset that real benchmark files use
+// (qreg/creg, the qelib1 gate set, custom gate definitions with
+// parameter expressions, barrier, measure) and an exporter. It lets the
+// simulator consume the circuit files distributed with other quantum
+// toolchains.
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// expr is a parsed parameter expression; it evaluates under an
+// environment binding gate-parameter names to values.
+type expr interface {
+	eval(env map[string]float64) (float64, error)
+}
+
+type numExpr float64
+
+func (n numExpr) eval(map[string]float64) (float64, error) { return float64(n), nil }
+
+type varExpr string
+
+func (v varExpr) eval(env map[string]float64) (float64, error) {
+	if val, ok := env[string(v)]; ok {
+		return val, nil
+	}
+	if string(v) == "pi" {
+		return math.Pi, nil
+	}
+	return 0, fmt.Errorf("qasm: unbound parameter %q", string(v))
+}
+
+type unaryExpr struct {
+	op rune
+	x  expr
+}
+
+func (u unaryExpr) eval(env map[string]float64) (float64, error) {
+	v, err := u.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch u.op {
+	case '-':
+		return -v, nil
+	case '+':
+		return v, nil
+	}
+	return 0, fmt.Errorf("qasm: unknown unary operator %q", u.op)
+}
+
+type binExpr struct {
+	op   rune
+	l, r expr
+}
+
+func (b binExpr) eval(env map[string]float64) (float64, error) {
+	l, err := b.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("qasm: division by zero")
+		}
+		return l / r, nil
+	case '^':
+		return math.Pow(l, r), nil
+	}
+	return 0, fmt.Errorf("qasm: unknown operator %q", b.op)
+}
+
+type callExpr struct {
+	fn string
+	x  expr
+}
+
+func (c callExpr) eval(env map[string]float64) (float64, error) {
+	v, err := c.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch c.fn {
+	case "sin":
+		return math.Sin(v), nil
+	case "cos":
+		return math.Cos(v), nil
+	case "tan":
+		return math.Tan(v), nil
+	case "exp":
+		return math.Exp(v), nil
+	case "ln":
+		return math.Log(v), nil
+	case "sqrt":
+		return math.Sqrt(v), nil
+	}
+	return 0, fmt.Errorf("qasm: unknown function %q", c.fn)
+}
+
+// exprParser is a recursive-descent parser over a parameter expression
+// string (precedence: unary, ^, */ , +-).
+type exprParser struct {
+	s   string
+	pos int
+}
+
+// parseExpr parses a complete expression string.
+func parseExpr(s string) (expr, error) {
+	p := &exprParser{s: s}
+	e, err := p.addSub()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return nil, fmt.Errorf("qasm: trailing input %q in expression %q", p.s[p.pos:], s)
+	}
+	return e, nil
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.s) && unicode.IsSpace(rune(p.s[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.s) {
+		return 0
+	}
+	return p.s[p.pos]
+}
+
+func (p *exprParser) addSub() (expr, error) {
+	l, err := p.mulDiv()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '+', '-':
+			op := rune(p.s[p.pos])
+			p.pos++
+			r, err := p.mulDiv()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: op, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *exprParser) mulDiv() (expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*', '/':
+			op := rune(p.s[p.pos])
+			p.pos++
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: op, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+// unary binds looser than '^' (so -2^2 == -(2^2), the usual
+// mathematical convention), but the exponent itself may be signed.
+func (p *exprParser) unary() (expr, error) {
+	switch p.peek() {
+	case '-', '+':
+		op := rune(p.s[p.pos])
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: op, x: x}, nil
+	}
+	return p.power()
+}
+
+func (p *exprParser) power() (expr, error) {
+	l, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == '^' {
+		p.pos++
+		r, err := p.unary() // right associative, signed exponents allowed
+		if err != nil {
+			return nil, err
+		}
+		return binExpr{op: '^', l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *exprParser) atom() (expr, error) {
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		e, err := p.addSub()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("qasm: missing ')' in expression %q", p.s)
+		}
+		p.pos++
+		return e, nil
+	case c >= '0' && c <= '9' || c == '.':
+		start := p.pos
+		for p.pos < len(p.s) {
+			ch := p.s[p.pos]
+			if ch >= '0' && ch <= '9' || ch == '.' || ch == 'e' || ch == 'E' {
+				p.pos++
+				continue
+			}
+			if (ch == '+' || ch == '-') && p.pos > start && (p.s[p.pos-1] == 'e' || p.s[p.pos-1] == 'E') {
+				p.pos++
+				continue
+			}
+			break
+		}
+		v, err := strconv.ParseFloat(p.s[start:p.pos], 64)
+		if err != nil {
+			return nil, fmt.Errorf("qasm: bad number %q", p.s[start:p.pos])
+		}
+		return numExpr(v), nil
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.s) && isIdentPart(p.s[p.pos]) {
+			p.pos++
+		}
+		name := p.s[start:p.pos]
+		if p.peek() == '(' {
+			p.pos++
+			arg, err := p.addSub()
+			if err != nil {
+				return nil, err
+			}
+			if p.peek() != ')' {
+				return nil, fmt.Errorf("qasm: missing ')' after %s(", name)
+			}
+			p.pos++
+			return callExpr{fn: strings.ToLower(name), x: arg}, nil
+		}
+		return varExpr(name), nil
+	case c == 0:
+		return nil, fmt.Errorf("qasm: unexpected end of expression %q", p.s)
+	}
+	return nil, fmt.Errorf("qasm: unexpected character %q in expression %q", c, p.s)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

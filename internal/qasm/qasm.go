@@ -1,0 +1,605 @@
+package qasm
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/dd"
+	"repro/internal/gates"
+)
+
+// Measurement records one `measure` statement (qubit → classical bit,
+// both as flat indices).
+type Measurement struct {
+	Qubit int
+	Clbit int
+}
+
+// Program is a parsed OpenQASM 2.0 program: the unitary part as a
+// circuit plus the trailing measurements.
+type Program struct {
+	Circuit      *circuit.Circuit
+	Measurements []Measurement
+	NClbits      int
+}
+
+// reg is a declared quantum or classical register.
+type reg struct {
+	offset, size int
+}
+
+// gateDef is a user-defined gate macro.
+type gateDef struct {
+	params []string
+	qubits []string
+	body   []appStmt
+}
+
+// appStmt is one gate application (inside a gate body or at top level,
+// pre-broadcast).
+type appStmt struct {
+	name   string
+	params []expr
+	args   []string // formal names inside bodies
+}
+
+type parser struct {
+	qregs   map[string]reg
+	qorder  []string
+	cregs   map[string]reg
+	corder  []string
+	nqubits int
+	nclbits int
+	defs    map[string]gateDef
+	prog    *Program
+}
+
+// Parse reads an OpenQASM 2.0 program.
+func Parse(r io.Reader) (*Program, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("qasm: read: %w", err)
+	}
+	return ParseString(string(src))
+}
+
+// ParseString parses an OpenQASM 2.0 program from a string.
+func ParseString(src string) (*Program, error) {
+	p := &parser{
+		qregs: map[string]reg{},
+		cregs: map[string]reg{},
+		defs:  map[string]gateDef{},
+	}
+	stmts, err := splitStatements(stripComments(src))
+	if err != nil {
+		return nil, err
+	}
+	// First pass: find total qubit count (qreg declarations).
+	for _, s := range stmts {
+		if name, size, ok := parseRegDecl(s, "qreg"); ok {
+			if _, dup := p.qregs[name]; dup {
+				return nil, fmt.Errorf("qasm: duplicate qreg %q", name)
+			}
+			p.qregs[name] = reg{offset: p.nqubits, size: size}
+			p.qorder = append(p.qorder, name)
+			p.nqubits += size
+		}
+		if name, size, ok := parseRegDecl(s, "creg"); ok {
+			if _, dup := p.cregs[name]; dup {
+				return nil, fmt.Errorf("qasm: duplicate creg %q", name)
+			}
+			p.cregs[name] = reg{offset: p.nclbits, size: size}
+			p.corder = append(p.corder, name)
+			p.nclbits += size
+		}
+	}
+	if p.nqubits == 0 {
+		return nil, fmt.Errorf("qasm: no qreg declared")
+	}
+	p.prog = &Program{Circuit: circuit.New(p.nqubits), NClbits: p.nclbits}
+
+	for _, s := range stmts {
+		if err := p.statement(s); err != nil {
+			return nil, err
+		}
+	}
+	return p.prog, nil
+}
+
+// stripComments removes // comments.
+func stripComments(src string) string {
+	var sb strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// splitStatements splits the source into ';'-terminated statements,
+// keeping `gate … { … }` definitions as single units.
+func splitStatements(src string) ([]string, error) {
+	var stmts []string
+	var cur strings.Builder
+	depth := 0
+	for _, r := range src {
+		switch r {
+		case '{':
+			depth++
+			cur.WriteRune(r)
+		case '}':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("qasm: unbalanced '}'")
+			}
+			cur.WriteRune(r)
+			if depth == 0 {
+				stmts = append(stmts, strings.TrimSpace(cur.String()))
+				cur.Reset()
+			}
+		case ';':
+			if depth > 0 {
+				cur.WriteRune(r)
+			} else {
+				if s := strings.TrimSpace(cur.String()); s != "" {
+					stmts = append(stmts, s)
+				}
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("qasm: unbalanced '{'")
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		return nil, fmt.Errorf("qasm: missing ';' after %q", abbreviate(s))
+	}
+	return stmts, nil
+}
+
+func abbreviate(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "…"
+	}
+	return s
+}
+
+func parseRegDecl(s, kw string) (name string, size int, ok bool) {
+	rest, found := strings.CutPrefix(s, kw+" ")
+	if !found {
+		return "", 0, false
+	}
+	rest = strings.TrimSpace(rest)
+	open := strings.IndexByte(rest, '[')
+	closeB := strings.IndexByte(rest, ']')
+	if open <= 0 || closeB <= open {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(rest[open+1 : closeB])
+	if err != nil || n <= 0 {
+		return "", 0, false
+	}
+	return strings.TrimSpace(rest[:open]), n, true
+}
+
+func (p *parser) statement(s string) error {
+	switch {
+	case s == "":
+		return nil
+	case strings.HasPrefix(s, "OPENQASM"):
+		ver := strings.TrimSpace(strings.TrimPrefix(s, "OPENQASM"))
+		if ver != "2.0" {
+			return fmt.Errorf("qasm: unsupported version %q (only 2.0)", ver)
+		}
+		return nil
+	case strings.HasPrefix(s, "include"):
+		return nil // qelib1 gates are built in
+	case strings.HasPrefix(s, "qreg "), strings.HasPrefix(s, "creg "):
+		return nil // handled in the first pass
+	case strings.HasPrefix(s, "barrier"):
+		return nil // no effect on the state vector
+	case strings.HasPrefix(s, "gate "):
+		return p.gateDefinition(s)
+	case strings.HasPrefix(s, "measure"):
+		return p.measure(s)
+	case strings.HasPrefix(s, "opaque"):
+		return fmt.Errorf("qasm: opaque gates are not supported")
+	case strings.HasPrefix(s, "reset"):
+		return fmt.Errorf("qasm: reset is not supported in the unitary circuit model")
+	case strings.HasPrefix(s, "if"):
+		return fmt.Errorf("qasm: classical control (if) is not supported")
+	default:
+		return p.application(s, nil, nil, 0)
+	}
+}
+
+// gateDefinition parses `gate name(p1,p2) q1,q2 { body }`.
+func (p *parser) gateDefinition(s string) error {
+	body := ""
+	if i := strings.IndexByte(s, '{'); i >= 0 {
+		if !strings.HasSuffix(s, "}") {
+			return fmt.Errorf("qasm: malformed gate body in %q", abbreviate(s))
+		}
+		body = s[i+1 : len(s)-1]
+		s = strings.TrimSpace(s[:i])
+	} else {
+		return fmt.Errorf("qasm: gate definition without body: %q", abbreviate(s))
+	}
+	header := strings.TrimSpace(strings.TrimPrefix(s, "gate "))
+	name, params, qubitsPart, err := splitNameParamsArgs(header)
+	if err != nil {
+		return err
+	}
+	if _, exists := builtinArity[name]; exists {
+		return fmt.Errorf("qasm: gate %q shadows a builtin", name)
+	}
+	if _, exists := p.defs[name]; exists {
+		return fmt.Errorf("qasm: duplicate gate definition %q", name)
+	}
+	def := gateDef{}
+	if params != "" {
+		for _, q := range strings.Split(params, ",") {
+			def.params = append(def.params, strings.TrimSpace(q))
+		}
+	}
+	for _, q := range strings.Split(qubitsPart, ",") {
+		q = strings.TrimSpace(q)
+		if q == "" {
+			return fmt.Errorf("qasm: gate %q: empty qubit argument", name)
+		}
+		def.qubits = append(def.qubits, q)
+	}
+	bodyStmts, err := splitStatements(body)
+	if err != nil {
+		return err
+	}
+	for _, bs := range bodyStmts {
+		if strings.HasPrefix(bs, "barrier") {
+			continue
+		}
+		bn, bParams, bArgs, err := parseApplication(bs)
+		if err != nil {
+			return fmt.Errorf("qasm: gate %q body: %w", name, err)
+		}
+		def.body = append(def.body, appStmt{name: bn, params: bParams, args: bArgs})
+	}
+	p.defs[name] = def
+	return nil
+}
+
+// splitNameParamsArgs splits "name(a,b) rest" into its pieces.
+func splitNameParamsArgs(s string) (name, params, rest string, err error) {
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		j := strings.IndexByte(s, ')')
+		if j < i {
+			return "", "", "", fmt.Errorf("qasm: unbalanced parentheses in %q", abbreviate(s))
+		}
+		return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1 : j]), strings.TrimSpace(s[j+1:]), nil
+	}
+	fields := strings.SplitN(s, " ", 2)
+	if len(fields) != 2 {
+		return "", "", "", fmt.Errorf("qasm: malformed statement %q", abbreviate(s))
+	}
+	return fields[0], "", strings.TrimSpace(fields[1]), nil
+}
+
+// parseApplication parses "name(exprs) a, b[1], c".
+func parseApplication(s string) (name string, params []expr, args []string, err error) {
+	name, paramsStr, rest, err := splitNameParamsArgs(s)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	if paramsStr != "" {
+		for _, ps := range splitTopLevel(paramsStr) {
+			e, err := parseExpr(strings.TrimSpace(ps))
+			if err != nil {
+				return "", nil, nil, err
+			}
+			params = append(params, e)
+		}
+	}
+	for _, a := range strings.Split(rest, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return "", nil, nil, fmt.Errorf("qasm: empty argument in %q", abbreviate(s))
+		}
+		args = append(args, a)
+	}
+	return name, params, args, nil
+}
+
+// splitTopLevel splits on commas not nested in parentheses.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// measure handles `measure q[i] -> c[j];` and register-wide
+// `measure q -> c;`.
+func (p *parser) measure(s string) error {
+	parts := strings.Split(strings.TrimPrefix(s, "measure"), "->")
+	if len(parts) != 2 {
+		return fmt.Errorf("qasm: malformed measure %q", abbreviate(s))
+	}
+	qArg := strings.TrimSpace(parts[0])
+	cArg := strings.TrimSpace(parts[1])
+	qs, err := p.resolveArg(qArg, p.qregs)
+	if err != nil {
+		return err
+	}
+	cs, err := p.resolveArg(cArg, p.cregs)
+	if err != nil {
+		return err
+	}
+	if len(qs) != len(cs) {
+		return fmt.Errorf("qasm: measure size mismatch %q -> %q", qArg, cArg)
+	}
+	for i := range qs {
+		p.prog.Measurements = append(p.prog.Measurements, Measurement{Qubit: qs[i], Clbit: cs[i]})
+	}
+	return nil
+}
+
+// resolveArg resolves "name" (whole register) or "name[i]" into flat
+// indices.
+func (p *parser) resolveArg(a string, regs map[string]reg) ([]int, error) {
+	if i := strings.IndexByte(a, '['); i >= 0 {
+		if !strings.HasSuffix(a, "]") {
+			return nil, fmt.Errorf("qasm: malformed argument %q", a)
+		}
+		name := strings.TrimSpace(a[:i])
+		r, ok := regs[name]
+		if !ok {
+			return nil, fmt.Errorf("qasm: unknown register %q", name)
+		}
+		idx, err := strconv.Atoi(a[i+1 : len(a)-1])
+		if err != nil || idx < 0 || idx >= r.size {
+			return nil, fmt.Errorf("qasm: index out of range in %q", a)
+		}
+		return []int{r.offset + idx}, nil
+	}
+	r, ok := regs[a]
+	if !ok {
+		return nil, fmt.Errorf("qasm: unknown register %q", a)
+	}
+	out := make([]int, r.size)
+	for i := range out {
+		out[i] = r.offset + i
+	}
+	return out, nil
+}
+
+const maxExpansionDepth = 64
+
+// application handles a gate application at top level (env == nil) or
+// inside a gate-body expansion (env binds params, bindings binds formal
+// qubit names).
+func (p *parser) application(s string, env map[string]float64, bindings map[string]int, depth int) error {
+	name, params, args, err := parseApplication(s)
+	if err != nil {
+		return err
+	}
+	return p.apply(name, params, args, env, bindings, depth)
+}
+
+func (p *parser) apply(name string, params []expr, args []string, env map[string]float64, bindings map[string]int, depth int) error {
+	if depth > maxExpansionDepth {
+		return fmt.Errorf("qasm: gate expansion too deep (recursive definition of %q?)", name)
+	}
+	vals := make([]float64, len(params))
+	for i, e := range params {
+		v, err := e.eval(env)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+
+	// Resolve arguments: inside a body, names are formal bindings; at
+	// top level they are register references with broadcast.
+	var argSets [][]int
+	if bindings != nil {
+		argSets = make([][]int, len(args))
+		for i, a := range args {
+			q, ok := bindings[a]
+			if !ok {
+				return fmt.Errorf("qasm: unknown qubit %q in gate body", a)
+			}
+			argSets[i] = []int{q}
+		}
+	} else {
+		argSets = make([][]int, len(args))
+		broadcast := 1
+		for i, a := range args {
+			qs, err := p.resolveArg(a, p.qregs)
+			if err != nil {
+				return err
+			}
+			argSets[i] = qs
+			if len(qs) > 1 {
+				if broadcast > 1 && broadcast != len(qs) {
+					return fmt.Errorf("qasm: broadcast size mismatch in %s", name)
+				}
+				broadcast = len(qs)
+			}
+		}
+		for i := range argSets {
+			if len(argSets[i]) == 1 && broadcast > 1 {
+				rep := make([]int, broadcast)
+				for j := range rep {
+					rep[j] = argSets[i][0]
+				}
+				argSets[i] = rep
+			}
+		}
+	}
+
+	n := len(argSets[0])
+	for shot := 0; shot < n; shot++ {
+		qs := make([]int, len(argSets))
+		for i := range argSets {
+			qs[i] = argSets[i][shot]
+		}
+		if err := p.applyOne(name, vals, qs, depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// builtinArity maps builtin gate names to (nParams, nQubits).
+var builtinArity = map[string][2]int{
+	"id": {0, 1}, "x": {0, 1}, "y": {0, 1}, "z": {0, 1}, "h": {0, 1},
+	"s": {0, 1}, "sdg": {0, 1}, "t": {0, 1}, "tdg": {0, 1},
+	"sx": {0, 1}, "sxdg": {0, 1},
+	"rx": {1, 1}, "ry": {1, 1}, "rz": {1, 1},
+	"p": {1, 1}, "u1": {1, 1}, "u2": {2, 1}, "u3": {3, 1}, "u": {3, 1},
+	"U":  {3, 1},
+	"cx": {0, 2}, "CX": {0, 2}, "cz": {0, 2}, "cy": {0, 2}, "ch": {0, 2},
+	"swap": {0, 2},
+	"crx":  {1, 2}, "cry": {1, 2}, "crz": {1, 2}, "cp": {1, 2}, "cu1": {1, 2},
+	"cu3": {3, 2},
+	"ccx": {0, 3}, "ccz": {0, 3}, "cswap": {0, 3},
+	"rzz": {1, 2},
+}
+
+func (p *parser) applyOne(name string, vals []float64, qs []int, depth int) error {
+	if def, ok := p.defs[name]; ok {
+		if len(vals) != len(def.params) {
+			return fmt.Errorf("qasm: gate %s expects %d parameters, got %d", name, len(def.params), len(vals))
+		}
+		if len(qs) != len(def.qubits) {
+			return fmt.Errorf("qasm: gate %s expects %d qubits, got %d", name, len(def.qubits), len(qs))
+		}
+		env := make(map[string]float64, len(vals))
+		for i, pn := range def.params {
+			env[pn] = vals[i]
+		}
+		bind := make(map[string]int, len(qs))
+		for i, qn := range def.qubits {
+			if qs[i] < 0 {
+				return fmt.Errorf("qasm: invalid qubit for %s", name)
+			}
+			bind[qn] = qs[i]
+		}
+		for _, bs := range def.body {
+			if err := p.apply(bs.name, bs.params, bs.args, env, bind, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ar, ok := builtinArity[name]
+	if !ok {
+		return fmt.Errorf("qasm: unknown gate %q", name)
+	}
+	if len(vals) != ar[0] {
+		return fmt.Errorf("qasm: gate %s expects %d parameters, got %d", name, ar[0], len(vals))
+	}
+	if len(qs) != ar[1] {
+		return fmt.Errorf("qasm: gate %s expects %d qubits, got %d", name, ar[1], len(qs))
+	}
+	for i := range qs {
+		for j := i + 1; j < len(qs); j++ {
+			if qs[i] == qs[j] {
+				return fmt.Errorf("qasm: gate %s uses qubit %d twice", name, qs[i])
+			}
+		}
+	}
+	c := p.prog.Circuit
+	v := func(i int) float64 { return vals[i] }
+	switch name {
+	case "id":
+		c.I(qs[0])
+	case "x":
+		c.X(qs[0])
+	case "y":
+		c.Y(qs[0])
+	case "z":
+		c.Z(qs[0])
+	case "h":
+		c.H(qs[0])
+	case "s":
+		c.S(qs[0])
+	case "sdg":
+		c.Sdg(qs[0])
+	case "t":
+		c.T(qs[0])
+	case "tdg":
+		c.Tdg(qs[0])
+	case "sx":
+		c.SX(qs[0])
+	case "sxdg":
+		c.Append(circuit.Gate{Name: "sxdg", Matrix: gates.SXdg, Target: qs[0]})
+	case "rx":
+		c.RX(v(0), qs[0])
+	case "ry":
+		c.RY(v(0), qs[0])
+	case "rz":
+		c.RZ(v(0), qs[0])
+	case "p", "u1":
+		c.P(v(0), qs[0])
+	case "u2":
+		c.U(math.Pi/2, v(0), v(1), qs[0])
+	case "u3", "u", "U":
+		c.U(v(0), v(1), v(2), qs[0])
+	case "cx", "CX":
+		c.CX(qs[0], qs[1])
+	case "cz":
+		c.CZ(qs[0], qs[1])
+	case "cy":
+		c.MC("y", gates.Y, []dd.Control{dd.Pos(qs[0])}, qs[1])
+	case "ch":
+		c.MC("h", gates.H, []dd.Control{dd.Pos(qs[0])}, qs[1])
+	case "swap":
+		c.Swap(qs[0], qs[1])
+	case "crx":
+		c.MC("rx", gates.RX(v(0)), []dd.Control{dd.Pos(qs[0])}, qs[1], v(0))
+	case "cry":
+		c.MC("ry", gates.RY(v(0)), []dd.Control{dd.Pos(qs[0])}, qs[1], v(0))
+	case "crz":
+		c.MC("rz", gates.RZ(v(0)), []dd.Control{dd.Pos(qs[0])}, qs[1], v(0))
+	case "cp", "cu1":
+		c.CP(v(0), qs[0], qs[1])
+	case "cu3":
+		c.MC("u", gates.U(v(0), v(1), v(2)), []dd.Control{dd.Pos(qs[0])}, qs[1], v(0), v(1), v(2))
+	case "ccx":
+		c.CCX(qs[0], qs[1], qs[2])
+	case "ccz":
+		c.MC("z", gates.Z, []dd.Control{dd.Pos(qs[0]), dd.Pos(qs[1])}, qs[2])
+	case "cswap":
+		c.CSwap(qs[0], qs[1], qs[2])
+	case "rzz":
+		// rzz(θ) = cx a,b; rz(θ) b; cx a,b
+		c.CX(qs[0], qs[1])
+		c.RZ(v(0), qs[1])
+		c.CX(qs[0], qs[1])
+	default:
+		return fmt.Errorf("qasm: builtin %q not wired", name)
+	}
+	return nil
+}

@@ -1,0 +1,393 @@
+package qasm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/dense"
+	"repro/internal/gates"
+)
+
+// --- expression parser ---------------------------------------------------
+
+func evalString(t *testing.T, s string, env map[string]float64) float64 {
+	t.Helper()
+	e, err := parseExpr(s)
+	if err != nil {
+		t.Fatalf("parseExpr(%q): %v", s, err)
+	}
+	v, err := e.eval(env)
+	if err != nil {
+		t.Fatalf("eval(%q): %v", s, err)
+	}
+	return v
+}
+
+func TestExprBasics(t *testing.T) {
+	cases := map[string]float64{
+		"1":             1,
+		"1.5e2":         150,
+		"pi":            math.Pi,
+		"-pi/2":         -math.Pi / 2,
+		"pi/4":          math.Pi / 4,
+		"2*pi":          2 * math.Pi,
+		"1+2*3":         7,
+		"(1+2)*3":       9,
+		"2^3":           8,
+		"2^3^2":         512, // right associative
+		"-2^2":          -4,  // unary binds the power result
+		"sin(pi/2)":     1,
+		"cos(0)":        1,
+		"sqrt(4)":       2,
+		"ln(exp(2))":    2,
+		"3-2-1":         0, // left associative
+		"8/4/2":         1,
+		"1 + 2 * (3-1)": 5,
+	}
+	for s, want := range cases {
+		if got := evalString(t, s, nil); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%q = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestExprVariables(t *testing.T) {
+	env := map[string]float64{"theta": 0.5, "lam": 2}
+	if got := evalString(t, "theta*lam + pi", env); math.Abs(got-(1+math.Pi)) > 1e-12 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	bad := []string{"", "1+", "(1", "foo(1", "1)", "@", "1/0", "unknownfn(1)"}
+	for _, s := range bad {
+		e, err := parseExpr(s)
+		if err == nil {
+			if _, err = e.eval(nil); err == nil {
+				t.Errorf("expression %q accepted", s)
+			}
+		}
+	}
+	// Unbound variable fails at evaluation time.
+	e, err := parseExpr("zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.eval(nil); err == nil {
+		t.Error("unbound variable accepted")
+	}
+}
+
+// --- parser ---------------------------------------------------------------
+
+func TestParseBellProgram(t *testing.T) {
+	src := `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+`
+	prog, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.NQubits != 2 || prog.Circuit.GateCount() != 2 {
+		t.Fatalf("parsed %d qubits, %d gates", prog.Circuit.NQubits, prog.Circuit.GateCount())
+	}
+	if len(prog.Measurements) != 2 || prog.NClbits != 2 {
+		t.Fatalf("measurements %v", prog.Measurements)
+	}
+	s := dense.Simulate(prog.Circuit)
+	w := 1 / math.Sqrt2
+	if math.Abs(real(s.Amps[0])-w) > 1e-9 || math.Abs(real(s.Amps[3])-w) > 1e-9 {
+		t.Fatalf("not a Bell state: %v", s.Amps)
+	}
+}
+
+func TestParseRegisterBroadcast(t *testing.T) {
+	prog, err := ParseString(`
+qreg q[3];
+h q;
+cx q[0], q[1];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.GateCount() != 4 {
+		t.Fatalf("broadcast h produced %d gates, want 4 total", prog.Circuit.GateCount())
+	}
+}
+
+func TestParseTwoQregs(t *testing.T) {
+	prog, err := ParseString(`
+qreg a[2];
+qreg b[3];
+x a[1];
+x b[0];
+cx a[0], b[2];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Circuit
+	if c.NQubits != 5 {
+		t.Fatalf("qubits %d", c.NQubits)
+	}
+	if c.Gates[0].Target != 1 || c.Gates[1].Target != 2 {
+		t.Fatalf("register offsets wrong: %+v", c.Gates[:2])
+	}
+	if c.Gates[2].Controls[0].Qubit != 0 || c.Gates[2].Target != 4 {
+		t.Fatalf("cross-register cx wrong: %+v", c.Gates[2])
+	}
+}
+
+func TestParseMeasureRegisterWide(t *testing.T) {
+	prog, err := ParseString(`
+qreg q[3];
+creg c[3];
+h q;
+measure q -> c;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Measurements) != 3 {
+		t.Fatalf("measurements %v", prog.Measurements)
+	}
+}
+
+func TestParseCustomGate(t *testing.T) {
+	src := `
+OPENQASM 2.0;
+qreg q[2];
+gate mybell a, b {
+  h a;
+  cx a, b;
+}
+mybell q[0], q[1];
+`
+	prog, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.GateCount() != 2 {
+		t.Fatalf("custom gate expanded to %d gates, want 2", prog.Circuit.GateCount())
+	}
+	s := dense.Simulate(prog.Circuit)
+	if math.Abs(real(s.Amps[3])-1/math.Sqrt2) > 1e-9 {
+		t.Fatalf("custom gate semantics wrong: %v", s.Amps)
+	}
+}
+
+func TestParseParametrisedCustomGate(t *testing.T) {
+	src := `
+qreg q[1];
+gate twist(theta, phi) a {
+  rz(theta) a;
+  ry(phi/2) a;
+  rz(-theta) a;
+}
+twist(pi/2, pi) q[0];
+`
+	prog, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.GateCount() != 3 {
+		t.Fatalf("gates %d", prog.Circuit.GateCount())
+	}
+	// rz(pi/2), ry(pi/2), rz(-pi/2) — check the middle angle.
+	if got := prog.Circuit.Gates[1].Params[0]; math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Fatalf("substituted angle %v", got)
+	}
+}
+
+func TestParseNestedCustomGates(t *testing.T) {
+	src := `
+qreg q[2];
+gate inner a { h a; }
+gate outer a, b { inner a; cx a, b; inner b; }
+outer q[0], q[1];
+`
+	prog, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.GateCount() != 3 {
+		t.Fatalf("nested expansion gave %d gates", prog.Circuit.GateCount())
+	}
+}
+
+func TestParseBuiltinCoverage(t *testing.T) {
+	src := `
+qreg q[3];
+id q[0]; x q[0]; y q[0]; z q[0]; h q[0]; s q[0]; sdg q[0]; t q[0]; tdg q[0];
+sx q[0]; sxdg q[0];
+rx(0.1) q[0]; ry(0.2) q[0]; rz(0.3) q[0];
+p(0.4) q[0]; u1(0.5) q[0]; u2(0.1,0.2) q[0]; u3(0.1,0.2,0.3) q[0];
+cx q[0],q[1]; cz q[0],q[1]; cy q[0],q[1]; ch q[0],q[1]; swap q[0],q[1];
+crx(0.1) q[0],q[1]; cry(0.2) q[0],q[1]; crz(0.3) q[0],q[1];
+cp(0.4) q[0],q[1]; cu1(0.5) q[0],q[1]; cu3(0.1,0.2,0.3) q[0],q[1];
+ccx q[0],q[1],q[2]; ccz q[0],q[1],q[2]; cswap q[0],q[1],q[2];
+rzz(0.6) q[0],q[1];
+barrier q;
+`
+	prog, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Circuit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.GateCount() == 0 {
+		t.Fatal("no gates parsed")
+	}
+}
+
+func TestParseSemantics(t *testing.T) {
+	// u2(φ,λ) must equal U(π/2,φ,λ); rzz must be the two-qubit phase.
+	prog, err := ParseString("qreg q[1]; u2(0.3,0.7) q[0];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gates.U(math.Pi/2, 0.3, 0.7)
+	if !gates.ApproxEqual(prog.Circuit.Gates[0].Matrix, want, 1e-12, false) {
+		t.Fatal("u2 semantics wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                         // no qreg
+		"OPENQASM 3.0; qreg q[1];", // version
+		"qreg q[1]; frob q[0];",    // unknown gate
+		"qreg q[1]; h q[5];",       // out of range
+		"qreg q[1]; h p[0];",       // unknown register
+		"qreg q[2]; cx q[0],q[0];", // duplicate qubit
+		"qreg q[1]; rx q[0];",      // missing param
+		"qreg q[1]; rx(1,2) q[0];", // too many params
+		"qreg q[1]; h q[0]",        // missing semicolon
+		"qreg q[1]; gate g a { h a; } gate g a { x a; } g q[0];",         // dup def
+		"qreg q[1]; gate h a { x a; } h q[0];",                           // shadows builtin
+		"qreg q[1]; gate g a { g a; } g q[0];",                           // recursion
+		"qreg q[1]; creg c[1]; measure q -> c[0]; measure q[0] -> d[0];", // bad creg
+		"qreg q[2]; creg c[1]; measure q -> c;",                          // size mismatch
+		"qreg q[1]; reset q[0];",                                         // unsupported
+		"qreg q[1]; opaque o a;",                                         // unsupported
+		"qreg q[1]; if (c==0) x q[0];",                                   // unsupported
+		"qreg q[2]; qreg q[3];",                                          // duplicate qreg
+		"qreg q[1]; h q[0]; }",                                           // unbalanced brace
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) accepted", src)
+		}
+	}
+}
+
+// --- exporter ---------------------------------------------------------------
+
+func TestExportRoundTrip(t *testing.T) {
+	src := `
+qreg q[3];
+h q[0];
+t q[1];
+u3(0.1,0.2,0.3) q[2];
+cx q[0],q[1];
+crz(0.5) q[1],q[2];
+ccx q[0],q[1],q[2];
+`
+	prog, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ExportString(prog.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("re-parsing export:\n%s\n%v", out, err)
+	}
+	a := dense.Simulate(prog.Circuit)
+	b := dense.Simulate(prog2.Circuit)
+	if f := a.Fidelity(b); f < 1-1e-9 {
+		t.Fatalf("round trip fidelity %v\nexport:\n%s", f, out)
+	}
+}
+
+func TestExportNegativeControls(t *testing.T) {
+	prog, err := ParseString("qreg q[2]; h q[0];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ := prog.Circuit
+	circ.MC("x", gates.X, []dd.Control{dd.Neg(1)}, 0)
+	out, err := ExportString(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "x q[1];\ncx q[1],q[0];\nx q[1];") {
+		t.Fatalf("negative control not conjugated:\n%s", out)
+	}
+	// Semantics must survive the conjugation.
+	prog2, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dense.Simulate(circ)
+	b := dense.Simulate(prog2.Circuit)
+	if f := a.Fidelity(b); f < 1-1e-9 {
+		t.Fatalf("negative-control export fidelity %v", f)
+	}
+}
+
+func TestExportUnsupported(t *testing.T) {
+	prog, err := ParseString("qreg q[1]; h q[0];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Circuit
+	c.SY(0)
+	if _, err := ExportString(c); err == nil {
+		t.Fatal("sy export should fail (no qelib1 equivalent)")
+	}
+}
+
+// QASM-imported circuits must simulate identically under all strategies.
+func TestParsedCircuitUnderStrategies(t *testing.T) {
+	src := `
+qreg q[4];
+h q;
+cx q[0],q[1];
+cp(pi/3) q[1],q[2];
+ccx q[1],q[2],q[3];
+u3(0.4,0.1,0.9) q[0];
+rzz(0.7) q[2],q[3];
+`
+	prog, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := dense.Simulate(prog.Circuit)
+	for _, st := range []core.Strategy{core.Sequential{}, core.KOperations{K: 3}, core.MaxSize{SMax: 32}} {
+		res, err := core.Run(prog.Circuit, core.Options{Strategy: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec := res.State.ToVector()
+		for i := range vec {
+			d := vec[i] - ref.Amps[i]
+			if math.Abs(real(d)) > 1e-9 || math.Abs(imag(d)) > 1e-9 {
+				t.Fatalf("%s: amplitude %d differs", st.Name(), i)
+			}
+		}
+	}
+}

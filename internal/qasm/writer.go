@@ -1,0 +1,128 @@
+package qasm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Export writes a circuit as an OpenQASM 2.0 program using the qelib1
+// gate set. Gates outside the expressible subset (more than two
+// controls on gates other than X/Z, bare √Y) yield an error; negative
+// controls are conjugated with X gates.
+func Export(w io.Writer, c *circuit.Circuit) error {
+	var sb strings.Builder
+	sb.WriteString("OPENQASM 2.0;\n")
+	sb.WriteString("include \"qelib1.inc\";\n")
+	if c.Name != "" {
+		fmt.Fprintf(&sb, "// %s\n", c.Name)
+	}
+	fmt.Fprintf(&sb, "qreg q[%d];\n", c.NQubits)
+	for i, g := range c.Gates {
+		line, err := exportGate(g)
+		if err != nil {
+			return fmt.Errorf("qasm: gate %d: %w", i, err)
+		}
+		sb.WriteString(line)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ExportString renders the circuit as an OpenQASM 2.0 string.
+func ExportString(c *circuit.Circuit) (string, error) {
+	var sb strings.Builder
+	if err := Export(&sb, c); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func exportGate(g circuit.Gate) (string, error) {
+	var pre, post strings.Builder
+	var posControls []int
+	for _, ctl := range g.Controls {
+		if ctl.Negative {
+			fmt.Fprintf(&pre, "x q[%d];\n", ctl.Qubit)
+			fmt.Fprintf(&post, "x q[%d];\n", ctl.Qubit)
+		}
+		posControls = append(posControls, ctl.Qubit)
+	}
+	body, err := exportBody(g, posControls)
+	if err != nil {
+		return "", err
+	}
+	return pre.String() + body + post.String(), nil
+}
+
+func exportBody(g circuit.Gate, controls []int) (string, error) {
+	p := func(i int) float64 {
+		if i < len(g.Params) {
+			return g.Params[i]
+		}
+		return 0
+	}
+	q := func(idx int) string { return fmt.Sprintf("q[%d]", idx) }
+	args := func(name string) string {
+		parts := make([]string, 0, len(controls)+1)
+		for _, c := range controls {
+			parts = append(parts, q(c))
+		}
+		parts = append(parts, q(g.Target))
+		return fmt.Sprintf("%s %s;\n", name, strings.Join(parts, ","))
+	}
+
+	switch len(controls) {
+	case 0:
+		switch g.Name {
+		case "i":
+			return args("id"), nil
+		case "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg":
+			return args(g.Name), nil
+		case "p":
+			return args(fmt.Sprintf("u1(%.17g)", p(0))), nil
+		case "rx":
+			return args(fmt.Sprintf("rx(%.17g)", p(0))), nil
+		case "ry":
+			return args(fmt.Sprintf("ry(%.17g)", p(0))), nil
+		case "rz":
+			return args(fmt.Sprintf("rz(%.17g)", p(0))), nil
+		case "u":
+			return args(fmt.Sprintf("u3(%.17g,%.17g,%.17g)", p(0), p(1), p(2))), nil
+		}
+		return "", fmt.Errorf("gate %q has no qelib1 equivalent", g.Name)
+	case 1:
+		switch g.Name {
+		case "x":
+			return args("cx"), nil
+		case "y":
+			return args("cy"), nil
+		case "z":
+			return args("cz"), nil
+		case "h":
+			return args("ch"), nil
+		case "p":
+			return args(fmt.Sprintf("cu1(%.17g)", p(0))), nil
+		case "rx":
+			return args(fmt.Sprintf("crx(%.17g)", p(0))), nil
+		case "ry":
+			return args(fmt.Sprintf("cry(%.17g)", p(0))), nil
+		case "rz":
+			return args(fmt.Sprintf("crz(%.17g)", p(0))), nil
+		case "u":
+			return args(fmt.Sprintf("cu3(%.17g,%.17g,%.17g)", p(0), p(1), p(2))), nil
+		}
+		return "", fmt.Errorf("controlled %q has no qelib1 equivalent", g.Name)
+	case 2:
+		switch g.Name {
+		case "x":
+			return args("ccx"), nil
+		case "z":
+			return args("ccz"), nil
+		}
+		return "", fmt.Errorf("doubly-controlled %q has no qelib1 equivalent", g.Name)
+	}
+	return "", fmt.Errorf("%d-controlled %q has no qelib1 equivalent", len(controls), g.Name)
+}

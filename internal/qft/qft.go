@@ -1,0 +1,79 @@
+// Package qft generates quantum Fourier transform circuits — the
+// arithmetic backbone of the Draper adders in the Shor benchmarks and a
+// benchmark circuit in its own right.
+package qft
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Circuit returns the QFT on qubits [0, n) of an n-qubit register,
+// mapping |x> to (1/√2^n) Σ_y e^{2πi·xy/2^n} |y>. The construction is
+// the textbook cascade of Hadamards and controlled phases followed by
+// the qubit-reversing swap network (included iff withSwaps).
+func Circuit(n int, withSwaps bool) *circuit.Circuit {
+	c := circuit.New(n)
+	c.Name = fmt.Sprintf("qft_%d", n)
+	Append(c, allQubits(n), withSwaps)
+	return c
+}
+
+// InverseCircuit returns the inverse QFT on n qubits.
+func InverseCircuit(n int, withSwaps bool) *circuit.Circuit {
+	inv := Circuit(n, withSwaps).Inverse()
+	inv.Name = fmt.Sprintf("iqft_%d", n)
+	return inv
+}
+
+// Append appends the QFT acting on the given qubit slice (most
+// significant first) to an existing circuit — used by the Shor adders,
+// which apply the QFT to a sub-register.
+func Append(c *circuit.Circuit, qubits []int, withSwaps bool) {
+	n := len(qubits)
+	// qubits[0] is the most significant position of the transformed
+	// register. Standard cascade: H on the MSB, then controlled phases
+	// with exponentially decreasing angles from the lower qubits.
+	for i := 0; i < n; i++ {
+		c.H(qubits[i])
+		for j := i + 1; j < n; j++ {
+			angle := math.Pi / float64(uint64(1)<<uint(j-i))
+			c.CP(angle, qubits[j], qubits[i])
+		}
+	}
+	if withSwaps {
+		for i := 0; i < n/2; i++ {
+			c.Swap(qubits[i], qubits[n-1-i])
+		}
+	}
+}
+
+// AppendInverse appends the inverse QFT on the given qubits.
+func AppendInverse(c *circuit.Circuit, qubits []int, withSwaps bool) {
+	if withSwaps {
+		for i := n(qubits) / 2; i > 0; i-- {
+			c.Swap(qubits[i-1], qubits[n(qubits)-i])
+		}
+	}
+	for i := n(qubits) - 1; i >= 0; i-- {
+		for j := n(qubits) - 1; j > i; j-- {
+			angle := -math.Pi / float64(uint64(1)<<uint(j-i))
+			c.CP(angle, qubits[j], qubits[i])
+		}
+		c.H(qubits[i])
+	}
+}
+
+func n(qubits []int) int { return len(qubits) }
+
+func allQubits(n int) []int {
+	qs := make([]int, n)
+	for i := range qs {
+		// Most significant first: qubit n-1 carries the top bit in our
+		// little-endian register convention.
+		qs[i] = n - 1 - i
+	}
+	return qs
+}

@@ -1,0 +1,310 @@
+// Package realfmt reads and writes the RevLib ".real" format for
+// reversible circuits — the benchmark format the JKU tools around the
+// paper consume. The supported gate library covers the common
+// reversible benchmarks: multi-controlled Toffoli (t), Fredkin (f),
+// Peres (p) and inverse Peres (pi), V/V† (controlled square roots of
+// NOT), and the standard header keys (.version .numvars .variables
+// .inputs .outputs .constants .garbage .begin .end).
+//
+// Reversible circuits are Boolean, so every .real circuit is also a
+// valid quantum circuit; importing yields the circuit IR directly.
+package realfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/dd"
+	"repro/internal/gates"
+)
+
+// Program is a parsed .real file.
+type Program struct {
+	Circuit   *circuit.Circuit
+	Variables []string
+	Inputs    []string
+	Outputs   []string
+	Constants string // one char per line: '-' or '0'/'1'
+	Garbage   string // one char per line: '-' or '1'
+}
+
+// Parse reads a .real program.
+func Parse(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	prog := &Program{}
+	varIndex := map[string]int{}
+	inBody := false
+	lineNo := 0
+	numVars := -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			key, rest, _ := strings.Cut(line, " ")
+			rest = strings.TrimSpace(rest)
+			switch key {
+			case ".version":
+				// informative only
+			case ".numvars":
+				if _, err := fmt.Sscanf(rest, "%d", &numVars); err != nil || numVars <= 0 {
+					return nil, fmt.Errorf("real: line %d: bad .numvars %q", lineNo, rest)
+				}
+			case ".variables":
+				prog.Variables = strings.Fields(rest)
+				for i, v := range prog.Variables {
+					if _, dup := varIndex[v]; dup {
+						return nil, fmt.Errorf("real: line %d: duplicate variable %q", lineNo, v)
+					}
+					varIndex[v] = i
+				}
+			case ".inputs":
+				prog.Inputs = strings.Fields(rest)
+			case ".outputs":
+				prog.Outputs = strings.Fields(rest)
+			case ".constants":
+				prog.Constants = rest
+			case ".garbage":
+				prog.Garbage = rest
+			case ".begin":
+				if numVars < 0 || len(prog.Variables) == 0 {
+					return nil, fmt.Errorf("real: line %d: .begin before .numvars/.variables", lineNo)
+				}
+				if len(prog.Variables) != numVars {
+					return nil, fmt.Errorf("real: %d variables declared, .numvars says %d", len(prog.Variables), numVars)
+				}
+				prog.Circuit = circuit.New(numVars)
+				inBody = true
+			case ".end":
+				if !inBody {
+					return nil, fmt.Errorf("real: line %d: .end without .begin", lineNo)
+				}
+				inBody = false
+			default:
+				return nil, fmt.Errorf("real: line %d: unknown directive %q", lineNo, key)
+			}
+			continue
+		}
+		if !inBody {
+			return nil, fmt.Errorf("real: line %d: gate %q outside .begin/.end", lineNo, line)
+		}
+		if err := parseGate(prog.Circuit, varIndex, line); err != nil {
+			return nil, fmt.Errorf("real: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("real: read: %w", err)
+	}
+	if prog.Circuit == nil {
+		return nil, fmt.Errorf("real: missing .begin section")
+	}
+	if inBody {
+		return nil, fmt.Errorf("real: missing .end")
+	}
+	return prog, nil
+}
+
+// ParseString parses a .real program from a string.
+func ParseString(s string) (*Program, error) { return Parse(strings.NewReader(s)) }
+
+// parseGate handles one body line: "<kind><size> line…". Control lines
+// may carry a '-' prefix for negative controls (RevLib 2.0 extension).
+func parseGate(c *circuit.Circuit, vars map[string]int, line string) error {
+	fields := strings.Fields(line)
+	spec := strings.ToLower(fields[0])
+	args := fields[1:]
+
+	resolve := func(s string) (int, bool, error) {
+		neg := false
+		if strings.HasPrefix(s, "-") {
+			neg = true
+			s = s[1:]
+		}
+		idx, ok := vars[s]
+		if !ok {
+			return 0, false, fmt.Errorf("unknown line %q", s)
+		}
+		return idx, neg, nil
+	}
+
+	kind := spec[:1]
+	size := 0
+	if len(spec) > 1 {
+		if _, err := fmt.Sscanf(spec[1:], "%d", &size); err != nil {
+			return fmt.Errorf("bad gate spec %q", spec)
+		}
+	} else {
+		size = len(args)
+	}
+	if size != len(args) {
+		return fmt.Errorf("gate %q expects %d lines, got %d", spec, size, len(args))
+	}
+
+	switch kind {
+	case "t": // multi-controlled Toffoli: last line is the target
+		if size < 1 {
+			return fmt.Errorf("t gate needs at least a target")
+		}
+		target, neg, err := resolve(args[size-1])
+		if err != nil {
+			return err
+		}
+		if neg {
+			return fmt.Errorf("target %q may not be negated", args[size-1])
+		}
+		var controls []dd.Control
+		for _, a := range args[:size-1] {
+			q, neg, err := resolve(a)
+			if err != nil {
+				return err
+			}
+			controls = append(controls, dd.Control{Qubit: q, Negative: neg})
+		}
+		c.MC("x", gates.X, controls, target)
+	case "f": // multi-controlled Fredkin: last two lines are swapped
+		if size < 2 {
+			return fmt.Errorf("f gate needs two targets")
+		}
+		a, negA, err := resolve(args[size-2])
+		if err != nil {
+			return err
+		}
+		b, negB, err := resolve(args[size-1])
+		if err != nil {
+			return err
+		}
+		if negA || negB {
+			return fmt.Errorf("fredkin targets may not be negated")
+		}
+		var controls []dd.Control
+		for _, s := range args[:size-2] {
+			q, neg, err := resolve(s)
+			if err != nil {
+				return err
+			}
+			controls = append(controls, dd.Control{Qubit: q, Negative: neg})
+		}
+		// CSWAP = CX(b,a) · CCX(ctl…,a,b) · CX(b,a) generalised to any
+		// control set.
+		c.CX(b, a)
+		c.MC("x", gates.X, append(append([]dd.Control{}, controls...), dd.Pos(a)), b)
+		c.CX(b, a)
+	case "p", "q": // Peres (p) and inverse Peres (q/pi): a,b,c lines
+		if size != 3 {
+			return fmt.Errorf("peres gate needs exactly 3 lines")
+		}
+		a, negA, err := resolve(args[0])
+		if err != nil {
+			return err
+		}
+		b, negB, err := resolve(args[1])
+		if err != nil {
+			return err
+		}
+		tgt, negC, err := resolve(args[2])
+		if err != nil {
+			return err
+		}
+		if negA || negB || negC {
+			return fmt.Errorf("peres lines may not be negated")
+		}
+		if kind == "p" {
+			// Peres = CCX(a,b,c) · CX(a,b)  (applied right to left)
+			c.CX(a, b)
+			c.CCX(a, b, tgt)
+		} else {
+			c.CCX(a, b, tgt)
+			c.CX(a, b)
+		}
+	case "v": // controlled V = controlled sqrt(X)
+		if err := appendControlledRoot(c, vars, args, false); err != nil {
+			return err
+		}
+	case "w": // RevLib "v+": controlled V† (also written v+ in some files)
+		if err := appendControlledRoot(c, vars, args, true); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unsupported gate kind %q", spec)
+	}
+	return nil
+}
+
+func appendControlledRoot(c *circuit.Circuit, vars map[string]int, args []string, adjoint bool) error {
+	if len(args) < 1 {
+		return fmt.Errorf("v gate needs a target")
+	}
+	target, ok := vars[args[len(args)-1]]
+	if !ok {
+		return fmt.Errorf("unknown line %q", args[len(args)-1])
+	}
+	var controls []dd.Control
+	for _, a := range args[:len(args)-1] {
+		neg := false
+		if strings.HasPrefix(a, "-") {
+			neg = true
+			a = a[1:]
+		}
+		q, ok := vars[a]
+		if !ok {
+			return fmt.Errorf("unknown line %q", a)
+		}
+		controls = append(controls, dd.Control{Qubit: q, Negative: neg})
+	}
+	if adjoint {
+		c.MC("sxdg", gates.SXdg, controls, target)
+	} else {
+		c.MC("sx", gates.SX, controls, target)
+	}
+	return nil
+}
+
+// Export writes the circuit in .real format. Only gates with a
+// reversible-library equivalent are supported: X with any controls
+// (t-gates), and sx/sxdg with controls (v/w).
+func Export(w io.Writer, c *circuit.Circuit) error {
+	var sb strings.Builder
+	sb.WriteString(".version 2.0\n")
+	fmt.Fprintf(&sb, ".numvars %d\n", c.NQubits)
+	names := make([]string, c.NQubits)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	fmt.Fprintf(&sb, ".variables %s\n", strings.Join(names, " "))
+	sb.WriteString(".begin\n")
+	for i, g := range c.Gates {
+		var kind string
+		switch g.Name {
+		case "x":
+			kind = "t"
+		case "sx":
+			kind = "v"
+		case "sxdg":
+			kind = "w"
+		default:
+			return fmt.Errorf("real: gate %d (%s) has no reversible equivalent", i, g.Name)
+		}
+		size := len(g.Controls) + 1
+		fmt.Fprintf(&sb, "%s%d", kind, size)
+		for _, ctl := range g.Controls {
+			if ctl.Negative {
+				fmt.Fprintf(&sb, " -%s", names[ctl.Qubit])
+			} else {
+				fmt.Fprintf(&sb, " %s", names[ctl.Qubit])
+			}
+		}
+		fmt.Fprintf(&sb, " %s\n", names[g.Target])
+	}
+	sb.WriteString(".end\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

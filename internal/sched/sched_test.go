@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dense"
+)
+
+func randomCircuit(rng *rand.Rand, n, length int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < length; i++ {
+		q := rng.Intn(n)
+		p := (q + 1 + rng.Intn(n-1)) % n
+		switch rng.Intn(4) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.T(q)
+		case 2:
+			c.CX(q, p)
+		default:
+			c.CP(rng.Float64(), q, p)
+		}
+	}
+	return c
+}
+
+func TestLayersAreDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := randomCircuit(rng, 6, 60)
+	layers := Layers(c)
+	total := 0
+	for li, layer := range layers {
+		used := map[int]bool{}
+		for _, g := range layer {
+			for _, q := range support(g) {
+				if used[q] {
+					t.Fatalf("layer %d reuses qubit %d", li, q)
+				}
+				used[q] = true
+			}
+			total++
+		}
+	}
+	if total != c.GateCount() {
+		t.Fatalf("layers hold %d gates, circuit has %d", total, c.GateCount())
+	}
+	if len(layers) != c.Depth() {
+		t.Fatalf("layer count %d != Depth %d", len(layers), c.Depth())
+	}
+	if Depth(c) != c.Depth() {
+		t.Fatal("Depth helper disagrees")
+	}
+}
+
+func TestLayersPreserveWireOrder(t *testing.T) {
+	// Gates sharing a qubit must keep their relative order across
+	// layers.
+	rng := rand.New(rand.NewSource(2))
+	c := randomCircuit(rng, 5, 50)
+	reordered := ASAP(c)
+	// Per qubit, the subsequence of gates touching it must be identical.
+	for q := 0; q < c.NQubits; q++ {
+		var orig, after []string
+		for _, g := range c.Gates {
+			if touches(g, q) {
+				orig = append(orig, gateKey(g))
+			}
+		}
+		for _, g := range reordered.Gates {
+			if touches(g, q) {
+				after = append(after, gateKey(g))
+			}
+		}
+		if len(orig) != len(after) {
+			t.Fatalf("qubit %d gate count changed", q)
+		}
+		for i := range orig {
+			if orig[i] != after[i] {
+				t.Fatalf("qubit %d order changed at %d: %s vs %s", q, i, orig[i], after[i])
+			}
+		}
+	}
+}
+
+func touches(g circuit.Gate, q int) bool {
+	for _, s := range support(g) {
+		if s == q {
+			return true
+		}
+	}
+	return false
+}
+
+func gateKey(g circuit.Gate) string {
+	return g.Name + string(rune('0'+g.Target))
+}
+
+func TestReorderingsPreserveSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(rng, 3+rng.Intn(4), 40)
+		oracle := dense.Simulate(c)
+		for _, variant := range []*circuit.Circuit{ASAP(c), ByLocality(c)} {
+			got := dense.Simulate(variant)
+			if f := oracle.Fidelity(got); f < 1-1e-9 {
+				t.Fatalf("trial %d: reordering changed semantics (fidelity %v)", trial, f)
+			}
+			if variant.GateCount() != c.GateCount() {
+				t.Fatalf("trial %d: gate count changed", trial)
+			}
+			if err := variant.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestByLocalitySortsWithinLayers(t *testing.T) {
+	c := circuit.New(4)
+	c.H(3).H(1).H(2).H(0) // one layer, scrambled
+	out := ByLocality(c)
+	for i, g := range out.Gates {
+		if g.Target != i {
+			t.Fatalf("intra-layer sorting wrong: %v", out.Gates)
+		}
+	}
+}
+
+func TestReorderingUnderStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := randomCircuit(rng, 5, 60)
+	ref, err := core.Run(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []*circuit.Circuit{ASAP(c), ByLocality(c)} {
+		res, err := core.Run(variant, core.Options{Strategy: core.KOperations{K: 4}, Engine: ref.Engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := ref.Engine.Fidelity(res.State, ref.State); math.Abs(f-1) > 1e-9 {
+			t.Fatalf("reordered simulation differs: fidelity %v", f)
+		}
+	}
+}

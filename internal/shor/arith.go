@@ -1,0 +1,183 @@
+// Package shor implements Shor's factoring algorithm in the two forms
+// the paper benchmarks:
+//
+//   - the gate-level Beauregard circuit (2n+3 qubits; ref [27] of the
+//     paper): Draper adders in Fourier space, doubly-controlled modular
+//     adders, controlled modular multipliers, and semiclassical
+//     (one-control-qubit) phase estimation with intermediate
+//     measurements — the workload behind the t_sota / t_general columns
+//     of Table II, and
+//
+//   - the DD-construct form (Sec. IV-B): the modular-multiplication
+//     oracle built *directly* as a permutation DD on only n+1 qubits,
+//     behind the t_DD-construct column.
+//
+// This file contains the reversible-arithmetic circuit builders.
+package shor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/dd"
+	"repro/internal/gates"
+	"repro/internal/mathutil"
+	"repro/internal/qft"
+)
+
+// Layout fixes the qubit roles of the 2n+3-qubit Beauregard circuit:
+//
+//	x register:  qubits [0, n)        multiplier register, initialised |1>
+//	b register:  qubits [n, 2n+1)     (n+1)-qubit accumulator, initialised |0>
+//	ancilla:     qubit 2n+1           comparison scratch bit
+//	control:     qubit 2n+2           the recycled phase-estimation qubit
+type Layout struct {
+	N int // bits of the modulus
+}
+
+// NewLayout returns the register layout for an n-bit modulus.
+func NewLayout(nBits int) Layout { return Layout{N: nBits} }
+
+// Total returns the total qubit count 2n+3.
+func (l Layout) Total() int { return 2*l.N + 3 }
+
+// X returns the index of multiplier-register qubit i.
+func (l Layout) X(i int) int { return i }
+
+// B returns the index of accumulator-register qubit i (i in [0, n]).
+func (l Layout) B(i int) int { return l.N + i }
+
+// BQubits returns the accumulator register, most significant first, as
+// qft.Append expects it.
+func (l Layout) BQubits() []int {
+	qs := make([]int, l.N+1)
+	for i := range qs {
+		qs[i] = l.B(l.N - i)
+	}
+	return qs
+}
+
+// Ancilla returns the comparison ancilla index.
+func (l Layout) Ancilla() int { return 2*l.N + 1 }
+
+// Control returns the recycled control-qubit index.
+func (l Layout) Control() int { return 2*l.N + 2 }
+
+// appendQFTB / appendIQFTB wrap the accumulator register in and out of
+// Fourier space (with the qubit-reversing swaps, so value bits keep
+// their little-endian positions).
+func appendQFTB(c *circuit.Circuit, l Layout) {
+	qft.Append(c, l.BQubits(), true)
+}
+
+func appendIQFTB(c *circuit.Circuit, l Layout) {
+	qft.AppendInverse(c, l.BQubits(), true)
+}
+
+// AppendPhiAdd appends the Draper adder φADD(a): with the accumulator
+// in Fourier space, adding the classical constant a (mod 2^{n+1}) is a
+// layer of single-qubit phase gates P(2π·a·2^k/2^{n+1}) on accumulator
+// qubit k, each optionally controlled. inverse selects subtraction.
+func AppendPhiAdd(c *circuit.Circuit, l Layout, a uint64, controls []dd.Control, inverse bool) {
+	m := l.N + 1
+	mod := uint64(1) << uint(m)
+	a %= mod
+	for k := 0; k < m; k++ {
+		// 2π·a·2^k/2^m, folded mod 2π to keep angles small.
+		num := (a << uint(k)) % mod
+		if num == 0 {
+			continue
+		}
+		theta := 2 * math.Pi * float64(num) / float64(mod)
+		if inverse {
+			theta = -theta
+		}
+		if len(controls) == 0 {
+			c.P(theta, l.B(k))
+		} else {
+			c.MC("p", gates.Phase(theta), controls, l.B(k), theta)
+		}
+	}
+}
+
+// AppendCCPhiAddMod appends the doubly-controlled modular adder
+// φADDMOD(a, N) of Beauregard Fig. 5: with the accumulator in Fourier
+// space it maps b → (b + a) mod N when both controls are active and is
+// the identity (with a clean ancilla) otherwise. Requires 0 ≤ a < N and
+// b < N.
+func AppendCCPhiAddMod(c *circuit.Circuit, l Layout, a, modN uint64, ctl1, ctl2 int, inverse bool) {
+	if inverse {
+		// The adjoint of the whole sequence: build it forward into a
+		// scratch circuit and append its inverse.
+		scratch := circuit.New(c.NQubits)
+		AppendCCPhiAddMod(scratch, l, a, modN, ctl1, ctl2, false)
+		c.AppendCircuit(scratch.Inverse())
+		return
+	}
+	cc := []dd.Control{dd.Pos(ctl1), dd.Pos(ctl2)}
+	anc := []dd.Control{dd.Pos(l.Ancilla())}
+	msb := l.B(l.N)
+
+	AppendPhiAdd(c, l, a, cc, false)     // 1: b += a (if controls)
+	AppendPhiAdd(c, l, modN, nil, true)  // 2: b -= N
+	appendIQFTB(c, l)                    // 3: leave Fourier space
+	c.CX(msb, l.Ancilla())               // 4: ancilla ← sign (borrow)
+	appendQFTB(c, l)                     // 5: back to Fourier space
+	AppendPhiAdd(c, l, modN, anc, false) // 6: b += N if borrowed
+	AppendPhiAdd(c, l, a, cc, true)      // 7: b -= a (if controls)
+	appendIQFTB(c, l)                    // 8
+	c.X(msb)                             // 9: ancilla ← ¬sign …
+	c.CX(msb, l.Ancilla())               //    … restoring it to |0>
+	c.X(msb)                             //
+	appendQFTB(c, l)                     // 10
+	AppendPhiAdd(c, l, a, cc, false)     // 11: b += a (if controls)
+}
+
+// AppendCMult appends the controlled modular multiply-accumulate
+// CMULT(a): |c=1>|x>|b> → |c=1>|x>|(b + a·x) mod N>, identity when the
+// control is off. inverse appends its adjoint (subtraction).
+func AppendCMult(c *circuit.Circuit, l Layout, a, modN uint64, ctl int, inverse bool) {
+	if inverse {
+		scratch := circuit.New(c.NQubits)
+		AppendCMult(scratch, l, a, modN, ctl, false)
+		c.AppendCircuit(scratch.Inverse())
+		return
+	}
+	appendQFTB(c, l)
+	for i := 0; i < l.N; i++ {
+		addend := mathutil.MulMod(a, uint64(1)<<uint(i), modN)
+		AppendCCPhiAddMod(c, l, addend, modN, ctl, l.X(i), false)
+	}
+	appendIQFTB(c, l)
+}
+
+// AppendControlledUa appends the controlled modular multiplier
+// C-U_a: |c=1>|x>|0> → |c=1>|a·x mod N>|0> (identity when the control
+// is off), composed as CMULT(a), a controlled register swap, and the
+// inverse CMULT(a^{-1}) — Beauregard Fig. 7. gcd(a, N) must be 1.
+func AppendControlledUa(c *circuit.Circuit, l Layout, a, modN uint64, ctl int) error {
+	ainv, err := mathutil.InvMod(a, modN)
+	if err != nil {
+		return fmt.Errorf("shor: controlled U_a: %w", err)
+	}
+	AppendCMult(c, l, a, modN, ctl, false)
+	for i := 0; i < l.N; i++ {
+		c.CSwap(ctl, l.X(i), l.B(i))
+	}
+	AppendCMult(c, l, ainv, modN, ctl, true)
+	return nil
+}
+
+// ControlledUaCircuit builds one controlled modular multiplication as a
+// standalone 2n+3-qubit circuit (used by tests and size statistics).
+func ControlledUaCircuit(modN, a uint64) (*circuit.Circuit, Layout, error) {
+	nBits := mathutil.BitLen(modN)
+	l := NewLayout(nBits)
+	c := circuit.New(l.Total())
+	c.Name = fmt.Sprintf("cU_%d_mod_%d", a, modN)
+	if err := AppendControlledUa(c, l, a%modN, modN, l.Control()); err != nil {
+		return nil, l, err
+	}
+	return c, l, nil
+}

@@ -1,0 +1,229 @@
+package supremacy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/gates"
+)
+
+func TestCZPatternDisjoint(t *testing.T) {
+	for p := 0; p < 8; p++ {
+		edges := CZPattern(4, 4, p)
+		used := map[int]bool{}
+		for _, e := range edges {
+			if used[e.A] || used[e.B] {
+				t.Fatalf("pattern %d reuses a qubit: %+v", p, edges)
+			}
+			used[e.A] = true
+			used[e.B] = true
+			// Must be a grid nearest-neighbour pair.
+			ra, ca := e.A/4, e.A%4
+			rb, cb := e.B/4, e.B%4
+			if !((ra == rb && cb == ca+1) || (ca == cb && rb == ra+1)) {
+				t.Fatalf("pattern %d has non-adjacent edge %v", p, e)
+			}
+		}
+	}
+}
+
+func TestCZPatternsCoverAllEdges(t *testing.T) {
+	rows, cols := 4, 4
+	want := map[Edge]bool{}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			q := r*cols + c
+			if c+1 < cols {
+				want[Edge{q, q + 1}] = true
+			}
+			if r+1 < rows {
+				want[Edge{q, q + cols}] = true
+			}
+		}
+	}
+	got := map[Edge]bool{}
+	for p := 0; p < 8; p++ {
+		for _, e := range CZPattern(rows, cols, p) {
+			got[e] = true
+		}
+	}
+	for e := range want {
+		if !got[e] {
+			t.Fatalf("edge %v never covered by the 8 patterns", e)
+		}
+	}
+}
+
+func TestCZPatternPeriodic(t *testing.T) {
+	for p := 0; p < 8; p++ {
+		a := CZPattern(3, 5, p)
+		b := CZPattern(3, 5, p+8)
+		if len(a) != len(b) {
+			t.Fatalf("pattern %d not periodic", p)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("pattern %d not periodic", p)
+			}
+		}
+	}
+}
+
+func TestCircuitDeterministic(t *testing.T) {
+	a := Circuit(3, 3, 10, 42)
+	b := Circuit(3, 3, 10, 42)
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different circuits")
+	}
+	c := Circuit(3, 3, 10, 43)
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestCircuitStructure(t *testing.T) {
+	rows, cols, depth := 3, 4, 12
+	n := rows * cols
+	c := Circuit(rows, cols, depth, 1)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "supremacy_12_12" {
+		t.Fatalf("name %q", c.Name)
+	}
+	// First n gates are the Hadamard layer.
+	for i := 0; i < n; i++ {
+		if c.Gates[i].Name != "h" {
+			t.Fatalf("gate %d is %q, want h", i, c.Gates[i].Name)
+		}
+	}
+	counts := c.CountByName()
+	if counts["cz"] == 0 {
+		t.Fatal("no CZ gates generated")
+	}
+	if counts["t"] == 0 {
+		t.Fatal("no T gates generated")
+	}
+	if counts["sx"]+counts["sy"] == 0 {
+		t.Fatal("no √X/√Y gates generated")
+	}
+}
+
+// TestSingleQubitRules re-derives the placement rules from the emitted
+// gate sequence.
+func TestSingleQubitRules(t *testing.T) {
+	rows, cols, depth := 3, 3, 16
+	n := rows * cols
+	c := Circuit(rows, cols, depth, 7)
+
+	// Re-segment the flat gate list into cycles: the initial H layer,
+	// then per cycle the CZs of pattern t followed by single-qubit gates.
+	idx := n // skip H layer
+	inCZPrev := make([]bool, n)
+	firstSingle := make([]bool, n)
+	lastSingle := make([]string, n)
+	for cyc := 0; cyc < depth; cyc++ {
+		edges := CZPattern(rows, cols, cyc)
+		inCZNow := make([]bool, n)
+		for range edges {
+			g := c.Gates[idx]
+			idx++
+			if g.Name != "z" || len(g.Controls) != 1 {
+				t.Fatalf("cycle %d: expected cz, got %+v", cyc, g)
+			}
+			inCZNow[g.Controls[0].Qubit] = true
+			inCZNow[g.Target] = true
+		}
+		for idx < len(c.Gates) {
+			g := c.Gates[idx]
+			if len(g.Controls) != 0 {
+				break // next cycle's CZs
+			}
+			q := g.Target
+			if inCZNow[q] {
+				t.Fatalf("cycle %d: single-qubit gate on CZ-active qubit %d", cyc, q)
+			}
+			if !inCZPrev[q] {
+				t.Fatalf("cycle %d: single-qubit gate on qubit %d not in previous CZ", cyc, q)
+			}
+			switch g.Name {
+			case "t":
+				if firstSingle[q] {
+					t.Fatalf("cycle %d: second T on qubit %d", cyc, q)
+				}
+				firstSingle[q] = true
+				lastSingle[q] = "t"
+			case "sx", "sy":
+				if !firstSingle[q] {
+					t.Fatalf("cycle %d: %s before T on qubit %d", cyc, g.Name, q)
+				}
+				if lastSingle[q] == g.Name {
+					t.Fatalf("cycle %d: repeated %s on qubit %d", cyc, g.Name, q)
+				}
+				lastSingle[q] = g.Name
+			default:
+				t.Fatalf("cycle %d: unexpected single-qubit gate %q", cyc, g.Name)
+			}
+			idx++
+		}
+		inCZPrev = inCZNow
+	}
+	if idx != len(c.Gates) {
+		t.Fatalf("re-segmentation consumed %d of %d gates", idx, len(c.Gates))
+	}
+}
+
+func TestCircuitPanics(t *testing.T) {
+	mustPanic(t, func() { Circuit(1, 4, 4, 0) })
+	mustPanic(t, func() { Circuit(4, 1, 4, 0) })
+	mustPanic(t, func() { Circuit(2, 2, 0, 0) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestStrategiesAgreeOnSupremacy(t *testing.T) {
+	c := Circuit(2, 3, 10, 5)
+	ref := dense.Simulate(c)
+	for _, st := range []core.Strategy{
+		core.Sequential{}, core.KOperations{K: 4}, core.MaxSize{SMax: 64},
+	} {
+		res, err := core.Run(c, core.Options{Strategy: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec := res.State.ToVector()
+		for i := range vec {
+			d := vec[i] - ref.Amps[i]
+			if real(d)*real(d)+imag(d)*imag(d) > 1e-16 {
+				t.Fatalf("%s: amplitude %d differs", st.Name(), i)
+			}
+		}
+	}
+}
+
+func TestEntanglementGrowth(t *testing.T) {
+	// Deeper supremacy circuits must produce larger state DDs — this is
+	// the regime where combining operations pays off (Sec. III).
+	shallow, err := core.Run(Circuit(3, 3, 2, 9), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := core.Run(Circuit(3, 3, 20, 9), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.State.Size() <= shallow.State.Size() {
+		t.Fatalf("state DD did not grow with depth: %d vs %d",
+			shallow.State.Size(), deep.State.Size())
+	}
+	_ = gates.I // keep the import for documentation symmetry
+}
