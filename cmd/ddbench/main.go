@@ -6,6 +6,7 @@
 //	Table II — shor benchmarks with strategy DD-construct
 //	Fig. 5  — DD size traces along Eq. 1 vs. combined operations
 //	adaptive — ratio sweep of the adaptive strategy (ablation, not in "all")
+//	enginestats — per-cache hit rates and GC behaviour of the DD engine
 //
 // Usage:
 //
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "all | fig5 | fig8 | fig9 | table1 | table2 | adaptive")
+		experiment = flag.String("experiment", "all", "all | fig5 | fig8 | fig9 | table1 | table2 | adaptive | enginestats")
 		full       = flag.Bool("full", false, "larger instances (several minutes; table2 adds the paper's moduli)")
 		reps       = flag.Int("reps", 1, "timing repetitions (fastest run reported)")
 		budget     = flag.Duration("budget", 30*time.Second, "per-run timeout (paper: 2 CPU hours)")
@@ -114,6 +115,16 @@ func main() {
 			}
 			return bench.RenderTable2(rows, cfg.Budget.Seconds()),
 				bench.Table2CSV(rows, cfg.Budget.Seconds()), nil
+		})
+		ran = true
+	}
+	if all || *experiment == "enginestats" {
+		run("enginestats", func(cfg bench.Config) (string, string, error) {
+			rows, err := bench.EngineStats(cfg)
+			if err != nil {
+				return "", "", err
+			}
+			return bench.RenderEngineStats(rows), bench.EngineStatsCSV(rows), nil
 		})
 		ran = true
 	}

@@ -47,6 +47,7 @@ func main() {
 		ratio     = flag.Float64("ratio", 1, "op/state size ratio for strategy adaptive")
 		dotOut    = flag.String("dot", "", "write the final state DD in Graphviz DOT format to this file")
 		optimize  = flag.Bool("optimize", false, "run the peephole optimiser before simulating")
+		stats     = flag.Bool("stats", false, "print engine statistics (cache hit rates, GC, memory layout)")
 	)
 	flag.Parse()
 
@@ -103,9 +104,12 @@ func main() {
 	fmt.Printf("runtime:        %v\n", res.Duration)
 	fmt.Printf("mat-vec steps:  %d\n", res.MatVecSteps)
 	fmt.Printf("mat-mat steps:  %d\n", res.MatMatSteps)
-	fmt.Printf("state DD size:  %d nodes\n", res.State.Size())
+	fmt.Printf("state DD size:  %d nodes\n", res.Engine.SizeV(res.State))
 	fmt.Printf("norm:           %.9f\n", res.State.Norm())
 
+	if *stats {
+		printEngineStats(res.Engine)
+	}
 	if *top > 0 && c.NQubits <= 24 {
 		printTopAmplitudes(res, c.NQubits, *top)
 	}
@@ -265,6 +269,29 @@ func printTopAmplitudes(res *core.Result, n, top int) {
 	for _, e := range es {
 		fmt.Printf("  |%0*b>  p=%.6f  amp=%.6f%+.6fi\n", n, e.idx, e.p, real(e.a), imag(e.a))
 	}
+}
+
+// printEngineStats reports the engine's per-cache hit rates, node and
+// GC accounting, and memory-layer occupancy.
+func printEngineStats(e *dd.Engine) {
+	s := e.Stats()
+	m := e.MemStats()
+	fmt.Println("engine statistics:")
+	cache := func(name string, c dd.CacheStats) {
+		fmt.Printf("  %-7s cache: %10d lookups  %10d hits  (%.1f%%)\n",
+			name, c.Lookups, c.Hits, 100*c.HitRate())
+	}
+	cache("add-v", s.AddV)
+	cache("add-m", s.AddM)
+	cache("mul-mv", s.MulMV)
+	cache("mul-mm", s.MulMM)
+	fmt.Printf("  nodes created:   %d (recycled %d)\n", s.NodesCreated, s.NodesRecycled)
+	fmt.Printf("  collections:     %d (total pause %v, max %v)\n", s.GCs, s.GCPause, s.GCMaxPause)
+	fmt.Printf("  unique tables:   v %d/%d slots (%d tombstones), m %d/%d slots (%d tombstones)\n",
+		m.VLive, m.VCapacity, m.VTombstones, m.MLive, m.MCapacity, m.MTombstones)
+	fmt.Printf("  arenas:          v %d chunks (%d free), m %d chunks (%d free)\n",
+		m.VChunks, m.VFree, m.MChunks, m.MFree)
+	fmt.Printf("  weight table:    %d representatives\n", e.WeightTableSize())
 }
 
 func fatal(err error) {

@@ -39,7 +39,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-22s mat-vec=%3d mat-mat=%3d state-DD=%d nodes, %v\n",
-			strategy.Name(), res.MatVecSteps, res.MatMatSteps, res.State.Size(), res.Duration)
+			strategy.Name(), res.MatVecSteps, res.MatMatSteps, res.Engine.SizeV(res.State), res.Duration)
 	}
 
 	// All strategies produce the same state; sample from it.

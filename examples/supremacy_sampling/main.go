@@ -47,7 +47,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("final state DD: %d nodes (dense vector would need %d amplitudes)\n",
-		res.State.Size(), 1<<uint(c.NQubits))
+		res.Engine.SizeV(res.State), 1<<uint(c.NQubits))
 
 	rng := rand.New(rand.NewSource(9))
 	fmt.Println("eight sampled bitstrings:")

@@ -50,7 +50,7 @@ func TestBernsteinVaziraniStaysCompact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s := res.State.Size(); s > n+1 {
+	if s := res.Engine.SizeV(res.State); s > n+1 {
 		t.Fatalf("BV state DD has %d nodes, want <= %d", s, n+1)
 	}
 }

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+)
+
+// EngineStatsRow is one workload×strategy run with the engine's cache
+// and memory-layer counters snapshotted after the simulation.
+type EngineStatsRow struct {
+	Workload string
+	Strategy string
+	Seconds  float64
+
+	AddV, AddM, MulMV, MulMM dd.CacheStats
+
+	NodesCreated  uint64
+	NodesRecycled uint64
+	GCs           uint64
+	GCPause       time.Duration
+}
+
+// EngineStats runs a small workload mix under each strategy family with
+// a dedicated engine per run and reports the per-cache hit rates and GC
+// behaviour. This is the harness view of the engine memory layer: the
+// same counters ddsim -stats prints for a single circuit, across the
+// paper's benchmark families.
+func EngineStats(cfg Config) ([]EngineStatsRow, error) {
+	ws := []Workload{
+		GroverWorkload(14),
+		ShorWorkload(15, 7),
+		SupremacyWorkload(4, 4, 12, 7),
+	}
+	strategies := []core.Strategy{
+		core.Sequential{},
+		core.KOperations{K: 4},
+		core.MaxSize{SMax: 128},
+	}
+	var rows []EngineStatsRow
+	for _, w := range ws {
+		for _, st := range strategies {
+			e := dd.New()
+			opt := core.Options{Strategy: st, Engine: e}
+			if cfg.Budget > 0 {
+				opt.Deadline = time.Now().Add(cfg.Budget)
+			}
+			start := time.Now()
+			err := w.Run(opt)
+			elapsed := time.Since(start).Seconds()
+			if err != nil {
+				if isDeadline(err) {
+					continue // drop timed-out runs; the row would be partial
+				}
+				return nil, fmt.Errorf("bench: enginestats: %s/%s: %w", w.Name, st.Name(), err)
+			}
+			s := e.Stats()
+			rows = append(rows, EngineStatsRow{
+				Workload:      w.Name,
+				Strategy:      st.Name(),
+				Seconds:       elapsed,
+				AddV:          s.AddV,
+				AddM:          s.AddM,
+				MulMV:         s.MulMV,
+				MulMM:         s.MulMM,
+				NodesCreated:  s.NodesCreated,
+				NodesRecycled: s.NodesRecycled,
+				GCs:           s.GCs,
+				GCPause:       s.GCPause,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderEngineStats renders the engine-counter table.
+func RenderEngineStats(rows []EngineStatsRow) string {
+	var sb strings.Builder
+	sb.WriteString("Engine statistics: per-cache hit rates and GC behaviour per workload and strategy\n")
+	sb.WriteString("(hit rate = cache hits / lookups; nodes = created/recycled; pauses summed over all collections)\n\n")
+	fmt.Fprintf(&sb, "%-18s %-18s %8s %8s %8s %8s %12s %12s %5s %10s\n",
+		"Benchmark", "Strategy", "add-v", "add-m", "mul-mv", "mul-mm",
+		"created", "recycled", "GCs", "pause")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %-18s %8s %8s %8s %8s %12d %12d %5d %10s\n",
+			r.Workload, r.Strategy,
+			fmtRate(r.AddV), fmtRate(r.AddM), fmtRate(r.MulMV), fmtRate(r.MulMM),
+			r.NodesCreated, r.NodesRecycled, r.GCs, r.GCPause.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+func fmtRate(c dd.CacheStats) string {
+	if c.Lookups == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*c.HitRate())
+}
+
+// EngineStatsCSV renders the raw counters as CSV.
+func EngineStatsCSV(rows []EngineStatsRow) string {
+	var sb strings.Builder
+	sb.WriteString("workload,strategy,seconds," +
+		"addv_lookups,addv_hits,addm_lookups,addm_hits," +
+		"mulmv_lookups,mulmv_hits,mulmm_lookups,mulmm_hits," +
+		"nodes_created,nodes_recycled,gcs,gc_pause_seconds\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
+			csvEscape(r.Workload), csvEscape(r.Strategy), csvFloat(r.Seconds),
+			r.AddV.Lookups, r.AddV.Hits, r.AddM.Lookups, r.AddM.Hits,
+			r.MulMV.Lookups, r.MulMV.Hits, r.MulMM.Lookups, r.MulMM.Hits,
+			r.NodesCreated, r.NodesRecycled, r.GCs, csvFloat(r.GCPause.Seconds()))
+	}
+	return sb.String()
+}

@@ -79,11 +79,36 @@ func KeyOf(c complex128) Key {
 // return the identical bit pattern. Node hash-consing in the DD engine
 // may then use exact comparison on canonical weights.
 //
+// Storage is an open-addressing hash table over quantisation keys
+// (power-of-two capacity, linear probing, doubling at 3/4 load). A cell
+// may hold several representatives — they then occupy separate slots
+// with equal keys on the same probe chain. Lookup sits on the node
+// creation hot path, where the previous map-of-slices layout cost nine
+// map lookups plus an allocation per new weight.
+//
 // The zero Table is ready to use.
 type Table struct {
-	buckets map[Key][]complex128
-	hits    uint64
-	misses  uint64
+	slots  []tableSlot
+	count  int
+	hits   uint64
+	misses uint64
+}
+
+type tableSlot struct {
+	key  Key
+	rep  complex128
+	used bool
+}
+
+const tableInitSlots = 256
+
+// hashKey mixes a quantisation key into a slot hash.
+func hashKey(k Key) uint32 {
+	h := uint64(k.Re)*0x9e3779b97f4a7c15 ^ uint64(k.Im)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	h *= 0x94d049bb133111eb
+	h ^= h >> 32
+	return uint32(h)
 }
 
 // Lookup returns the canonical representative of c, registering c as a
@@ -100,35 +125,61 @@ func (t *Table) Lookup(c complex128) complex128 {
 	if Eq(c, One) {
 		return One
 	}
-	if t.buckets == nil {
-		t.buckets = make(map[Key][]complex128)
+	if t.slots == nil {
+		t.slots = make([]tableSlot, tableInitSlots)
 	}
 	k := KeyOf(c)
 	// A value within Tol of c may have been quantised into a neighbouring
 	// cell; probe the 3×3 neighbourhood.
+	mask := uint32(len(t.slots) - 1)
 	for dr := int64(-1); dr <= 1; dr++ {
 		for di := int64(-1); di <= 1; di++ {
-			for _, rep := range t.buckets[Key{k.Re + dr, k.Im + di}] {
-				if Eq(rep, c) {
+			nk := Key{k.Re + dr, k.Im + di}
+			for i := hashKey(nk) & mask; t.slots[i].used; i = (i + 1) & mask {
+				if t.slots[i].key == nk && Eq(t.slots[i].rep, c) {
 					t.hits++
-					return rep
+					return t.slots[i].rep
 				}
 			}
 		}
 	}
 	t.misses++
-	t.buckets[k] = append(t.buckets[k], c)
+	t.insert(k, c)
 	return c
 }
 
-// Size returns the number of distinct representatives stored.
-func (t *Table) Size() int {
-	n := 0
-	for _, b := range t.buckets {
-		n += len(b)
+// insert registers a new representative, growing the table as needed.
+func (t *Table) insert(k Key, c complex128) {
+	if (t.count+1)*4 >= len(t.slots)*3 {
+		t.grow()
 	}
-	return n
+	mask := uint32(len(t.slots) - 1)
+	i := hashKey(k) & mask
+	for t.slots[i].used {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = tableSlot{key: k, rep: c, used: true}
+	t.count++
 }
+
+func (t *Table) grow() {
+	old := t.slots
+	t.slots = make([]tableSlot, 2*len(old))
+	mask := uint32(len(t.slots) - 1)
+	for _, s := range old {
+		if !s.used {
+			continue
+		}
+		i := hashKey(s.key) & mask
+		for t.slots[i].used {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = s
+	}
+}
+
+// Size returns the number of distinct representatives stored.
+func (t *Table) Size() int { return t.count }
 
 // Stats returns the number of Lookup calls that were answered from an
 // existing representative (hits) and the number that registered a new
@@ -139,7 +190,8 @@ func (t *Table) Stats() (hits, misses uint64) {
 
 // Reset discards all representatives and statistics.
 func (t *Table) Reset() {
-	t.buckets = nil
+	t.slots = nil
+	t.count = 0
 	t.hits, t.misses = 0, 0
 }
 

@@ -215,8 +215,8 @@ func TestReversibleSubsetThroughRealFormat(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.State.Size() != n {
-			t.Fatalf("trial %d: reversible circuit produced non-basis DD (%d nodes)", trial, res.State.Size())
+		if res.Engine.SizeV(res.State) != n {
+			t.Fatalf("trial %d: reversible circuit produced non-basis DD (%d nodes)", trial, res.Engine.SizeV(res.State))
 		}
 	}
 }

@@ -50,10 +50,10 @@ func (e *Engine) addV(a, b VEdge) VEdge {
 	}
 	aW := e.weights.Lookup(a.W)
 	bW := e.weights.Lookup(b.W)
-	idx := mixW(mixW(mix(a.N.id, b.N.id), aW), bW)
-	e.stats.CacheLookups++
-	if s := &e.addVCache()[idx]; s.ok && s.aN == a.N.id && s.bN == b.N.id && s.aW == aW && s.bW == bW {
-		e.stats.CacheHits++
+	idx := mixW(mixW(mix(a.N.id, b.N.id), aW), bW) & cacheMask
+	e.stats.AddV.Lookups++
+	if s := &e.addVTab[idx]; s.gen == e.cacheGen && s.aN == a.N.id && s.bN == b.N.id && s.aW == aW && s.bW == bW {
+		e.stats.AddV.Hits++
 		return s.r
 	}
 	var children [2]VEdge
@@ -63,7 +63,7 @@ func (e *Engine) addV(a, b VEdge) VEdge {
 		children[i] = e.addV(ca, cb)
 	}
 	r := e.makeVNode(a.N.V, children[0], children[1])
-	e.addVCache()[idx] = addVSlot{aN: a.N.id, bN: b.N.id, aW: aW, bW: bW, r: r, ok: true}
+	e.addVTab[idx] = addVSlot{aN: a.N.id, bN: b.N.id, aW: aW, bW: bW, r: r, gen: e.cacheGen}
 	return r
 }
 
@@ -109,10 +109,10 @@ func (e *Engine) addM(a, b MEdge) MEdge {
 	}
 	aW := e.weights.Lookup(a.W)
 	bW := e.weights.Lookup(b.W)
-	idx := mixW(mixW(mix(a.N.id, b.N.id), aW), bW)
-	e.stats.CacheLookups++
-	if s := &e.addMCache()[idx]; s.ok && s.aN == a.N.id && s.bN == b.N.id && s.aW == aW && s.bW == bW {
-		e.stats.CacheHits++
+	idx := mixW(mixW(mix(a.N.id, b.N.id), aW), bW) & cacheMask
+	e.stats.AddM.Lookups++
+	if s := &e.addMTab[idx]; s.gen == e.cacheGen && s.aN == a.N.id && s.bN == b.N.id && s.aW == aW && s.bW == bW {
+		e.stats.AddM.Hits++
 		return s.r
 	}
 	var children [4]MEdge
@@ -122,7 +122,7 @@ func (e *Engine) addM(a, b MEdge) MEdge {
 		children[i] = e.addM(ca, cb)
 	}
 	r := e.makeMNode(a.N.V, children)
-	e.addMCache()[idx] = addMSlot{aN: a.N.id, bN: b.N.id, aW: aW, bW: bW, r: r, ok: true}
+	e.addMTab[idx] = addMSlot{aN: a.N.id, bN: b.N.id, aW: aW, bW: bW, r: r, gen: e.cacheGen}
 	return r
 }
 
@@ -147,10 +147,10 @@ func (e *Engine) mulVec(m MEdge, v VEdge) VEdge {
 	if m.N.V != v.N.V {
 		panic(fmt.Sprintf("dd: MulVec on mismatched levels %d vs %d", m.N.V, v.N.V))
 	}
-	idx := mix(m.N.id, v.N.id)
-	e.stats.CacheLookups++
-	if s := &e.mulMVCache()[idx]; s.ok && s.m == m.N.id && s.v == v.N.id {
-		e.stats.CacheHits++
+	idx := mix(m.N.id, v.N.id) & cacheMask
+	e.stats.MulMV.Lookups++
+	if s := &e.mulMVTab[idx]; s.gen == e.cacheGen && s.m == m.N.id && s.v == v.N.id {
+		e.stats.MulMV.Hits++
 		return e.scaleV(s.r, w)
 	}
 	var children [2]VEdge
@@ -163,7 +163,7 @@ func (e *Engine) mulVec(m MEdge, v VEdge) VEdge {
 		children[row] = sum
 	}
 	r := e.makeVNode(m.N.V, children[0], children[1])
-	e.mulMVCache()[idx] = mulMVSlot{m: m.N.id, v: v.N.id, r: r, ok: true}
+	e.mulMVTab[idx] = mulMVSlot{m: m.N.id, v: v.N.id, r: r, gen: e.cacheGen}
 	return e.scaleV(r, w)
 }
 
@@ -188,10 +188,10 @@ func (e *Engine) mulMat(a, b MEdge) MEdge {
 	if a.N.V != b.N.V {
 		panic(fmt.Sprintf("dd: MulMat on mismatched levels %d vs %d", a.N.V, b.N.V))
 	}
-	idx := mix(a.N.id, b.N.id)
-	e.stats.CacheLookups++
-	if s := &e.mulMMCache()[idx]; s.ok && s.a == a.N.id && s.b == b.N.id {
-		e.stats.CacheHits++
+	idx := mix(a.N.id, b.N.id) & cacheMask
+	e.stats.MulMM.Lookups++
+	if s := &e.mulMMTab[idx]; s.gen == e.cacheGen && s.a == a.N.id && s.b == b.N.id {
+		e.stats.MulMM.Hits++
 		return e.scaleM(s.r, w)
 	}
 	var children [4]MEdge
@@ -206,7 +206,7 @@ func (e *Engine) mulMat(a, b MEdge) MEdge {
 		}
 	}
 	r := e.makeMNode(a.N.V, children)
-	e.mulMMCache()[idx] = mulMMSlot{a: a.N.id, b: b.N.id, r: r, ok: true}
+	e.mulMMTab[idx] = mulMMSlot{a: a.N.id, b: b.N.id, r: r, gen: e.cacheGen}
 	return e.scaleM(r, w)
 }
 
@@ -300,27 +300,29 @@ func (e *Engine) ConjTranspose(m MEdge) MEdge {
 
 func conj(c complex128) complex128 { return complex(real(c), -imag(c)) }
 
-// InnerProduct returns <a|b> = Σ_i conj(a_i)·b_i.
+// InnerProduct returns <a|b> = Σ_i conj(a_i)·b_i. The recursion
+// memoises on node pairs through an engine-owned scratch table (the
+// per-pair sums are weight-independent, so entries stay valid across
+// calls until the next GC) — no allocation on the hot path.
 func (e *Engine) InnerProduct(a, b VEdge) complex128 {
-	memo := make(map[[2]*VNode]complex128)
-	var rec func(a, b VEdge) complex128
-	rec = func(a, b VEdge) complex128 {
-		if a.IsZero() || b.IsZero() {
-			return 0
-		}
-		w := conj(a.W) * b.W
-		if a.IsTerminal() {
-			return w
-		}
-		k := [2]*VNode{a.N, b.N}
-		sub, ok := memo[k]
-		if !ok {
-			sub = rec(a.N.E[0], b.N.E[0]) + rec(a.N.E[1], b.N.E[1])
-			memo[k] = sub
-		}
-		return w * sub
+	return e.innerProduct(a, b)
+}
+
+func (e *Engine) innerProduct(a, b VEdge) complex128 {
+	if a.IsZero() || b.IsZero() {
+		return 0
 	}
-	return rec(a, b)
+	w := conj(a.W) * b.W
+	if a.IsTerminal() {
+		return w
+	}
+	idx := mix(a.N.id, b.N.id) & scratchMask
+	if s := &e.ipTab[idx]; s.gen == e.cacheGen && s.aN == a.N.id && s.bN == b.N.id {
+		return w * s.val
+	}
+	sub := e.innerProduct(a.N.E[0], b.N.E[0]) + e.innerProduct(a.N.E[1], b.N.E[1])
+	e.ipTab[idx] = ipSlot{aN: a.N.id, bN: b.N.id, val: sub, gen: e.cacheGen}
+	return w * sub
 }
 
 // Fidelity returns |<a|b>|² for two (normalised) states.
@@ -328,29 +330,24 @@ func (e *Engine) Fidelity(a, b VEdge) float64 {
 	return cnum.Abs2(e.InnerProduct(a, b))
 }
 
-// Cache accessors (indirection keeps the hot slices in one place and the
-// arithmetic code uniform).
-func (e *Engine) addVCache() []addVSlot   { return e.addVTab }
-func (e *Engine) addMCache() []addMSlot   { return e.addMTab }
-func (e *Engine) mulMVCache() []mulMVSlot { return e.mulMVTab }
-func (e *Engine) mulMMCache() []mulMMSlot { return e.mulMMTab }
-
 // Trace returns the trace of the matrix diagram (sum of diagonal
-// entries) in O(nodes) via memoised recursion — the primitive behind
-// equivalence checking of combined operation matrices.
+// entries) via memoised recursion — the primitive behind equivalence
+// checking of combined operation matrices. Like InnerProduct, the memo
+// is an engine-owned scratch table valid until the next GC, so repeated
+// traces over shared structure are allocation-free and cheap.
 func (e *Engine) Trace(m MEdge) complex128 {
-	memo := make(map[*MNode]complex128)
-	var rec func(n *MNode) complex128
-	rec = func(n *MNode) complex128 {
-		if n == mTerminal {
-			return 1
-		}
-		if v, ok := memo[n]; ok {
-			return v
-		}
-		v := n.E[0].W*rec(n.E[0].N) + n.E[3].W*rec(n.E[3].N)
-		memo[n] = v
-		return v
+	return m.W * e.trace(m.N)
+}
+
+func (e *Engine) trace(n *MNode) complex128 {
+	if n == mTerminal {
+		return 1
 	}
-	return m.W * rec(m.N)
+	idx := mix(n.id, 0x9e3779b9) & scratchMask
+	if s := &e.trTab[idx]; s.gen == e.cacheGen && s.n == n.id {
+		return s.val
+	}
+	v := n.E[0].W*e.trace(n.E[0].N) + n.E[3].W*e.trace(n.E[3].N)
+	e.trTab[idx] = trSlot{n: n.id, val: v, gen: e.cacheGen}
+	return v
 }

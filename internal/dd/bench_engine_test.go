@@ -1,0 +1,79 @@
+package dd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The engine microbenchmarks below exercise the memory layer on paths
+// that miss the compute caches, so node creation, unique-table probing
+// and garbage collection dominate — unlike the cache-hit loops in
+// dd_test.go, which measure pure lookup throughput.
+
+// BenchmarkMakeNode drives makeVNode through BasisState with a rolling
+// index: a mix of unique-table misses (fresh nodes) and hits (shared
+// suffixes), with periodic full collections to keep the table bounded.
+func BenchmarkMakeNode(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.BasisState(20, uint64(i)&((1<<20)-1))
+		if i&8191 == 8191 {
+			e.GarbageCollect(nil, nil)
+		}
+	}
+}
+
+// BenchmarkMulVec applies a rotating set of random controlled gates to
+// an evolving 12-qubit state. Every application misses the compute
+// caches and builds fresh result nodes, so this measures the full hot
+// path the paper's strategies bottom out in: recursion + add + node
+// creation + unique-table insertion, with GC when the engine fills up.
+func BenchmarkMulVec(b *testing.B) {
+	e := New()
+	const n = 12
+	rng := rand.New(rand.NewSource(42))
+	gates := make([]MEdge, 64)
+	for i := range gates {
+		tgt := rng.Intn(n)
+		var controls []Control
+		if c := rng.Intn(n); c != tgt {
+			controls = append(controls, Control{Qubit: c, Negative: rng.Intn(2) == 0})
+		}
+		gates[i] = e.GateDD(randUnitary(rng), n, tgt, controls)
+	}
+	v := e.ZeroState(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v = e.MulVec(gates[i&63], v)
+		if e.VNodeCount()+e.MNodeCount() > 150_000 {
+			e.GarbageCollect([]VEdge{v}, gates)
+		}
+	}
+}
+
+// BenchmarkGC measures a full churn cycle: build ~20k garbage nodes
+// from pregenerated amplitude vectors, then collect them while keeping
+// one live state. (Build stays inside the timed section — per-iteration
+// StopTimer calls runtime.ReadMemStats and would dominate wall-clock —
+// so the numbers cover allocation and collection of the same nodes,
+// which is exactly the churn GC exists to absorb.)
+func BenchmarkGC(b *testing.B) {
+	e := New()
+	rng := rand.New(rand.NewSource(7))
+	states := make([][]complex128, 20)
+	for i := range states {
+		states[i] = randState(rng, 10)
+	}
+	live := e.FromVector(randState(rng, 10))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range states {
+			e.FromVector(s)
+		}
+		e.GarbageCollect([]VEdge{live}, nil)
+	}
+}

@@ -9,14 +9,23 @@ import (
 	"repro/internal/cnum"
 )
 
-// Engine owns the unique tables, compute caches and the complex-value
-// table of one simulation. Diagrams from different engines must not be
-// mixed. An Engine is not safe for concurrent use.
+// Engine owns the unique tables, node arenas, compute caches and the
+// complex-value table of one simulation. Diagrams from different
+// engines must not be mixed. An Engine is not safe for concurrent use.
+//
+// Memory layout (see DESIGN.md, "Engine memory layout"): nodes are
+// allocated from chunked arenas and indexed by open-addressing unique
+// tables keyed on the node fields themselves; compute caches are
+// direct-mapped arrays whose entries carry a generation stamp, so
+// post-GC invalidation is a single counter increment instead of a
+// table wipe.
 type Engine struct {
 	weights cnum.Table
 
-	vUnique map[vKey]*VNode
-	mUnique map[mKey]*MNode
+	vUnique vTable
+	mUnique mTable
+	vArena  vArena
+	mArena  mArena
 	nextID  uint32
 
 	// Identity diagrams by span: identity[k] covers variables 0..k-1.
@@ -26,28 +35,39 @@ type Engine struct {
 	addMTab  []addMSlot
 	mulMVTab []mulMVSlot
 	mulMMTab []mulMMSlot
+	// Scratch memo tables for the query operations (inner products,
+	// traces, projections); same generation scheme as the caches.
+	ipTab   []ipSlot
+	trTab   []trSlot
+	projTab []projSlot
+
+	// cacheGen stamps valid cache/scratch entries; clearCaches bumps it
+	// so every stale entry expires at once. projGen is bumped per
+	// Project call since projections memoise call-local results.
+	cacheGen uint32
+	projGen  uint32
+
+	// ctlBuf is GateDD's per-qubit control scratch, reused across calls.
+	ctlBuf []ctlKind
 
 	deadline      time.Time
 	deadlineTicks uint32
 
-	// epoch stamps node marks during SizeV/SizeM traversals so repeated
-	// size queries (the max-size strategy runs one per gate) need no
-	// per-call visited set.
+	// epoch stamps node marks during SizeV/SizeM traversals and GC
+	// marking, so repeated traversals need no per-call visited set.
 	epoch uint32
 
 	stats Stats
 }
 
-// bumpEpoch advances the traversal epoch, clearing all marks on the
-// (astronomically rare) wrap-around so stale marks can never alias.
+// bumpEpoch advances the traversal epoch. On the (astronomically rare)
+// wrap-around every mark in both arenas — including free-listed nodes
+// that might later be recycled — is cleared so stale marks can never
+// alias a fresh epoch.
 func (e *Engine) bumpEpoch() {
 	if e.epoch == math.MaxUint32 {
-		for _, n := range e.vUnique {
-			n.mark = 0
-		}
-		for _, n := range e.mUnique {
-			n.mark = 0
-		}
+		e.vArena.resetMarks()
+		e.mArena.resetMarks()
 		e.epoch = 0
 	}
 	e.epoch++
@@ -128,21 +148,59 @@ func (e *Engine) checkDeadline() {
 	}
 }
 
+// CacheStats counts lookups and hits of one compute cache.
+type CacheStats struct {
+	Lookups uint64
+	Hits    uint64
+}
+
+// HitRate returns Hits/Lookups (0 when the cache was never consulted).
+func (c CacheStats) HitRate() float64 {
+	if c.Lookups == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Lookups)
+}
+
 // Stats accumulates operation counters of an Engine. The multiplication
 // counters are the quantities the paper trades against each other.
 type Stats struct {
-	MatVecMuls     uint64 // top-level matrix-vector multiplications
-	MatMatMuls     uint64 // top-level matrix-matrix multiplications
-	AddRecursions  uint64
-	MulRecursions  uint64
-	CacheHits      uint64
-	CacheLookups   uint64
-	NodesCreated   uint64
-	GCs            uint64
+	MatVecMuls    uint64 // top-level matrix-vector multiplications
+	MatMatMuls    uint64 // top-level matrix-matrix multiplications
+	AddRecursions uint64
+	MulRecursions uint64
+
+	// CacheHits and CacheLookups aggregate the four per-cache counters
+	// below; Stats() fills them in for snapshot consumers.
+	CacheHits    uint64
+	CacheLookups uint64
+	// Per-cache counters: vector addition, matrix addition,
+	// matrix-vector and matrix-matrix multiplication.
+	AddV  CacheStats
+	AddM  CacheStats
+	MulMV CacheStats
+	MulMM CacheStats
+
+	NodesCreated  uint64
+	NodesRecycled uint64 // dead nodes returned to the arena free lists by GC
+
+	GCs        uint64
+	GCPause    time.Duration // cumulative time spent inside GarbageCollect
+	GCMaxPause time.Duration // longest single collection
+
 	PeakVNodes     int
 	PeakMNodes     int
 	PeakVectorSize int // largest state-vector DD observed via NoteVectorSize
 	PeakMatrixSize int // largest operation DD observed via NoteMatrixSize
+}
+
+// MemStats describes the occupancy of the engine's memory layer.
+type MemStats struct {
+	VLive, MLive             int // live nodes in the unique tables
+	VCapacity, MCapacity     int // open-addressing slots allocated
+	VTombstones, MTombstones int // deleted slots awaiting compaction
+	VFree, MFree             int // recycled nodes on the arena free lists
+	VChunks, MChunks         int // arena chunks allocated
 }
 
 // cache sizing: direct-mapped tables with overwrite-on-collision, the
@@ -151,70 +209,104 @@ const (
 	cacheBits = 16
 	cacheSize = 1 << cacheBits
 	cacheMask = cacheSize - 1
+
+	// The query scratch tables (inner product, trace, projection) see
+	// far fewer distinct keys per operation than the arithmetic caches.
+	scratchBits = 14
+	scratchSize = 1 << scratchBits
+	scratchMask = scratchSize - 1
 )
-
-type vKey struct {
-	v      int32
-	n0, n1 uint32
-	w0, w1 complex128
-}
-
-type mKey struct {
-	v              int32
-	n0, n1, n2, n3 uint32
-	w0, w1, w2, w3 complex128
-}
 
 type addVSlot struct {
 	aN, bN uint32
 	aW, bW complex128
 	r      VEdge
-	ok     bool
+	gen    uint32
 }
 
 type addMSlot struct {
 	aN, bN uint32
 	aW, bW complex128
 	r      MEdge
-	ok     bool
+	gen    uint32
 }
 
 type mulMVSlot struct {
 	m, v uint32
 	r    VEdge
-	ok   bool
+	gen  uint32
 }
 
 type mulMMSlot struct {
 	a, b uint32
 	r    MEdge
-	ok   bool
+	gen  uint32
+}
+
+type ipSlot struct {
+	aN, bN uint32
+	val    complex128
+	gen    uint32
+}
+
+type trSlot struct {
+	n   uint32
+	val complex128
+	gen uint32
+}
+
+type projSlot struct {
+	n   uint32
+	r   VEdge
+	gen uint32
 }
 
 // New returns an empty Engine ready for use.
 func New() *Engine {
 	return &Engine{
-		vUnique:  make(map[vKey]*VNode),
-		mUnique:  make(map[mKey]*MNode),
+		vUnique:  newVTable(),
+		mUnique:  newMTable(),
 		nextID:   1,
 		addVTab:  make([]addVSlot, cacheSize),
 		addMTab:  make([]addMSlot, cacheSize),
 		mulMVTab: make([]mulMVSlot, cacheSize),
 		mulMMTab: make([]mulMMSlot, cacheSize),
+		ipTab:    make([]ipSlot, scratchSize),
+		trTab:    make([]trSlot, scratchSize),
+		projTab:  make([]projSlot, scratchSize),
+		cacheGen: 1,
+		projGen:  1,
 	}
 }
 
-// Stats returns a snapshot of the engine's counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the engine's counters, with the aggregate
+// cache fields derived from the per-cache ones.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.CacheHits = s.AddV.Hits + s.AddM.Hits + s.MulMV.Hits + s.MulMM.Hits
+	s.CacheLookups = s.AddV.Lookups + s.AddM.Lookups + s.MulMV.Lookups + s.MulMM.Lookups
+	return s
+}
 
 // ResetStats zeroes all counters (table contents are preserved).
 func (e *Engine) ResetStats() { e.stats = Stats{} }
 
+// MemStats returns a snapshot of unique-table and arena occupancy.
+func (e *Engine) MemStats() MemStats {
+	return MemStats{
+		VLive: e.vUnique.live, MLive: e.mUnique.live,
+		VCapacity: len(e.vUnique.slots), MCapacity: len(e.mUnique.slots),
+		VTombstones: e.vUnique.dead, MTombstones: e.mUnique.dead,
+		VFree: e.vArena.nfree, MFree: e.mArena.nfree,
+		VChunks: len(e.vArena.chunks), MChunks: len(e.mArena.chunks),
+	}
+}
+
 // VNodeCount returns the number of live vector nodes in the unique table.
-func (e *Engine) VNodeCount() int { return len(e.vUnique) }
+func (e *Engine) VNodeCount() int { return e.vUnique.live }
 
 // MNodeCount returns the number of live matrix nodes in the unique table.
-func (e *Engine) MNodeCount() int { return len(e.mUnique) }
+func (e *Engine) MNodeCount() int { return e.mUnique.live }
 
 // NoteVectorSize records s as an observed state-vector DD size for the
 // peak statistics.
@@ -262,16 +354,23 @@ func (e *Engine) makeVNode(v int32, e0, e1 VEdge) VEdge {
 	}
 	e0.W = e.normDiv(e0.W, top)
 	e1.W = e.normDiv(e1.W, top)
-	k := vKey{v: v, n0: e0.N.id, n1: e1.N.id, w0: e0.W, w1: e1.W}
-	if n, ok := e.vUnique[k]; ok {
-		return VEdge{W: top, N: n}
+	h := hashVKey(v, e0, e1)
+	hit, slot := e.vUnique.find(h, v, e0, e1)
+	if hit != nil {
+		return VEdge{W: top, N: hit}
 	}
-	n := &VNode{E: [2]VEdge{e0, e1}, V: v, id: e.nextID}
+	// The miss slot stays valid: nothing below touches the table until
+	// insertAt.
+	n := e.vArena.alloc()
+	n.E = [2]VEdge{e0, e1}
+	n.V = v
+	n.id = e.nextID
+	n.hash = h
 	e.nextID++
 	e.stats.NodesCreated++
-	e.vUnique[k] = n
-	if len(e.vUnique) > e.stats.PeakVNodes {
-		e.stats.PeakVNodes = len(e.vUnique)
+	e.vUnique.insertAt(slot, n)
+	if e.vUnique.live > e.stats.PeakVNodes {
+		e.stats.PeakVNodes = e.vUnique.live
 	}
 	return VEdge{W: top, N: n}
 }
@@ -300,20 +399,21 @@ func (e *Engine) makeMNode(v int32, es [4]MEdge) MEdge {
 	for i := range es {
 		es[i].W = e.normDiv(es[i].W, top)
 	}
-	k := mKey{
-		v:  v,
-		n0: es[0].N.id, n1: es[1].N.id, n2: es[2].N.id, n3: es[3].N.id,
-		w0: es[0].W, w1: es[1].W, w2: es[2].W, w3: es[3].W,
+	h := hashMKey(v, &es)
+	hit, slot := e.mUnique.find(h, v, &es)
+	if hit != nil {
+		return MEdge{W: top, N: hit}
 	}
-	if n, ok := e.mUnique[k]; ok {
-		return MEdge{W: top, N: n}
-	}
-	n := &MNode{E: es, V: v, id: e.nextID}
+	n := e.mArena.alloc()
+	n.E = es
+	n.V = v
+	n.id = e.nextID
+	n.hash = h
 	e.nextID++
 	e.stats.NodesCreated++
-	e.mUnique[k] = n
-	if len(e.mUnique) > e.stats.PeakMNodes {
-		e.stats.PeakMNodes = len(e.mUnique)
+	e.mUnique.insertAt(slot, n)
+	if e.mUnique.live > e.stats.PeakMNodes {
+		e.stats.PeakMNodes = e.mUnique.live
 	}
 	return MEdge{W: top, N: n}
 }
@@ -359,38 +459,86 @@ func (e *Engine) normDiv(w, top complex128) complex128 {
 	return e.weights.Lookup(w / top)
 }
 
-// mix hashes two node ids into a cache index.
+// hashVKey hashes a normalised vector-node key (full 32 bits; callers
+// mask). Stored into the node so probes and rehashes never recompute it.
+func hashVKey(v int32, e0, e1 VEdge) uint32 {
+	h := uint32(v)*0x9e3779b1 ^ e0.N.id*0x85ebca77 ^ e1.N.id*0xc2b2ae3d
+	h = foldW(h, e0.W)
+	h = foldW(h, e1.W)
+	return finish(h)
+}
+
+// hashMKey hashes a normalised matrix-node key.
+func hashMKey(v int32, es *[4]MEdge) uint32 {
+	h := uint32(v) * 0x9e3779b1
+	for i := range es {
+		h = (h ^ es[i].N.id) * 0x85ebca77
+		h = foldW(h, es[i].W)
+	}
+	return finish(h)
+}
+
+// foldW folds a complex weight's bit pattern into a hash.
+func foldW(h uint32, w complex128) uint32 {
+	rb := math.Float64bits(real(w))
+	ib := math.Float64bits(imag(w))
+	h = (h ^ uint32(rb) ^ uint32(rb>>32)) * 0x9e3779b1
+	h = (h ^ uint32(ib) ^ uint32(ib>>32)) * 0x85ebca77
+	return h
+}
+
+// finish is a murmur-style avalanche of the accumulated hash.
+func finish(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x7feb352d
+	h ^= h >> 15
+	h *= 0x846ca68b
+	h ^= h >> 16
+	return h
+}
+
+// mix hashes two node ids into an unmasked cache hash.
 func mix(a, b uint32) uint32 {
 	h := a*0x9e3779b1 ^ b*0x85ebca77
 	h ^= h >> 15
 	h *= 0xc2b2ae3d
 	h ^= h >> 13
-	return h & cacheMask
+	return h
 }
 
-// mixW folds a complex weight into a hash.
+// mixW folds a complex weight into a cache hash.
 func mixW(h uint32, w complex128) uint32 {
 	rb := math.Float64bits(real(w))
 	ib := math.Float64bits(imag(w))
 	h ^= uint32(rb) ^ uint32(rb>>32)*0x9e3779b1
 	h ^= uint32(ib)*0x85ebca77 ^ uint32(ib>>32)
 	h ^= h >> 16
-	return h & cacheMask
+	return h
 }
 
-// clearCaches invalidates all compute caches (after GC, node identities
-// may be reused so stale entries must not survive).
+// clearCaches invalidates all compute caches and cross-call scratch
+// memos in O(1) by advancing the generation stamp (after GC, node
+// identities may be reused so stale entries must not survive). Only on
+// the rare counter wrap-around are the tables physically wiped.
 func (e *Engine) clearCaches() {
-	for i := range e.addVTab {
-		e.addVTab[i].ok = false
+	if e.cacheGen == math.MaxUint32 {
+		e.addVTab = make([]addVSlot, cacheSize)
+		e.addMTab = make([]addMSlot, cacheSize)
+		e.mulMVTab = make([]mulMVSlot, cacheSize)
+		e.mulMMTab = make([]mulMMSlot, cacheSize)
+		e.ipTab = make([]ipSlot, scratchSize)
+		e.trTab = make([]trSlot, scratchSize)
+		e.cacheGen = 0
 	}
-	for i := range e.addMTab {
-		e.addMTab[i].ok = false
+	e.cacheGen++
+}
+
+// bumpProjGen starts a fresh projection memo generation (per-Project
+// call; see Engine.Project).
+func (e *Engine) bumpProjGen() {
+	if e.projGen == math.MaxUint32 {
+		e.projTab = make([]projSlot, scratchSize)
+		e.projGen = 0
 	}
-	for i := range e.mulMVTab {
-		e.mulMVTab[i].ok = false
-	}
-	for i := range e.mulMMTab {
-		e.mulMMTab[i].ok = false
-	}
+	e.projGen++
 }

@@ -14,6 +14,16 @@ type Control struct {
 	Negative bool
 }
 
+// ctlKind classifies a qubit's role in the gate being built (see
+// Engine.ctlBuf).
+type ctlKind uint8
+
+const (
+	ctlNone ctlKind = iota
+	ctlPos
+	ctlNeg
+)
+
 // Pos is shorthand for a positive control on qubit q.
 func Pos(q int) Control { return Control{Qubit: q} }
 
@@ -31,7 +41,16 @@ func (e *Engine) GateDD(u [2][2]complex128, n, target int, controls []Control) M
 	if target < 0 || target >= n {
 		panic(fmt.Sprintf("dd: GateDD: target %d out of range for %d qubits", target, n))
 	}
-	ctl := make(map[int]bool, len(controls)) // qubit -> negative?
+	// Per-qubit control kind, in an engine-owned scratch buffer — GateDD
+	// runs once per gate, and a map here costs an allocation plus a
+	// hashed lookup per level.
+	if cap(e.ctlBuf) < n {
+		e.ctlBuf = make([]ctlKind, n)
+	}
+	ctl := e.ctlBuf[:n]
+	for i := range ctl {
+		ctl[i] = ctlNone
+	}
 	for _, c := range controls {
 		if c.Qubit < 0 || c.Qubit >= n {
 			panic(fmt.Sprintf("dd: GateDD: control %d out of range for %d qubits", c.Qubit, n))
@@ -39,10 +58,14 @@ func (e *Engine) GateDD(u [2][2]complex128, n, target int, controls []Control) M
 		if c.Qubit == target {
 			panic(fmt.Sprintf("dd: GateDD: qubit %d is both control and target", c.Qubit))
 		}
-		if _, dup := ctl[c.Qubit]; dup {
+		if ctl[c.Qubit] != ctlNone {
 			panic(fmt.Sprintf("dd: GateDD: duplicate control on qubit %d", c.Qubit))
 		}
-		ctl[c.Qubit] = c.Negative
+		if c.Negative {
+			ctl[c.Qubit] = ctlNeg
+		} else {
+			ctl[c.Qubit] = ctlPos
+		}
 	}
 
 	// em[2*row+col] tracks, for each entry of the target-level 2x2 block,
@@ -60,7 +83,7 @@ func (e *Engine) GateDD(u [2][2]complex128, n, target int, controls []Control) M
 	}
 
 	for z := 0; z < target; z++ {
-		neg, isCtl := ctl[z]
+		isCtl, neg := ctl[z] != ctlNone, ctl[z] == ctlNeg
 		for i := range em {
 			diagonal := i == 0 || i == 3
 			switch {
@@ -90,7 +113,7 @@ func (e *Engine) GateDD(u [2][2]complex128, n, target int, controls []Control) M
 	f := e.makeMNode(int32(target), em)
 
 	for z := target + 1; z < n; z++ {
-		neg, isCtl := ctl[z]
+		isCtl, neg := ctl[z] != ctlNone, ctl[z] == ctlNeg
 		switch {
 		case !isCtl:
 			f = e.makeMNode(int32(z), [4]MEdge{f, MZero(), MZero(), f})

@@ -1,71 +1,69 @@
 package dd
 
+import "time"
+
 // GarbageCollect drops every node not reachable from the given roots
 // from the unique tables and invalidates the compute caches. Node
 // identities (and hence hash-consing of the surviving nodes) are
 // preserved — reachable diagrams remain valid and canonical.
 //
+// Collection is mark-sweep over the engine's own structures: reachable
+// nodes are stamped with a fresh traversal epoch (no live-set maps are
+// built), dead entries are tombstoned out of the unique tables in
+// place, and their nodes go onto the arena free lists for reuse —
+// nothing is handed back to the Go heap. Cache invalidation afterwards
+// is a single generation bump, O(1).
+//
 // The core simulator calls this when live node counts exceed its
 // threshold; long runs would otherwise retain every intermediate state
 // ever built.
 func (e *Engine) GarbageCollect(vroots []VEdge, mroots []MEdge) {
+	start := time.Now()
 	e.stats.GCs++
 
-	liveV := make(map[*VNode]struct{})
-	var markV func(n *VNode)
-	markV = func(n *VNode) {
-		if n == vTerminal {
-			return
-		}
-		if _, ok := liveV[n]; ok {
-			return
-		}
-		liveV[n] = struct{}{}
-		markV(n.E[0].N)
-		markV(n.E[1].N)
-	}
+	e.bumpEpoch()
 	for _, r := range vroots {
-		markV(r.N)
-	}
-
-	liveM := make(map[*MNode]struct{})
-	var markM func(n *MNode)
-	markM = func(n *MNode) {
-		if n == mTerminal {
-			return
-		}
-		if _, ok := liveM[n]; ok {
-			return
-		}
-		liveM[n] = struct{}{}
-		for i := range n.E {
-			markM(n.E[i].N)
-		}
+		e.markV(r.N)
 	}
 	for _, r := range mroots {
-		markM(r.N)
+		e.markM(r.N)
 	}
 	// The identity cache is cheap to keep and pervasively shared; treat
 	// its entries as roots so Identity() stays O(1) after collection.
 	for _, id := range e.identity {
-		markM(id.N)
+		e.markM(id.N)
 	}
 
-	newV := make(map[vKey]*VNode, len(liveV))
-	for k, n := range e.vUnique {
-		if _, ok := liveV[n]; ok {
-			newV[k] = n
-		}
-	}
-	e.vUnique = newV
-
-	newM := make(map[mKey]*MNode, len(liveM))
-	for k, n := range e.mUnique {
-		if _, ok := liveM[n]; ok {
-			newM[k] = n
-		}
-	}
-	e.mUnique = newM
+	freed := e.vUnique.sweep(e.epoch, &e.vArena)
+	freed += e.mUnique.sweep(e.epoch, &e.mArena)
+	e.stats.NodesRecycled += uint64(freed)
 
 	e.clearCaches()
+
+	pause := time.Since(start)
+	e.stats.GCPause += pause
+	if pause > e.stats.GCMaxPause {
+		e.stats.GCMaxPause = pause
+	}
+}
+
+// markV stamps every node reachable from n with the current epoch.
+func (e *Engine) markV(n *VNode) {
+	if n == vTerminal || n == nil || n.mark == e.epoch {
+		return
+	}
+	n.mark = e.epoch
+	e.markV(n.E[0].N)
+	e.markV(n.E[1].N)
+}
+
+// markM stamps every matrix node reachable from n with the current epoch.
+func (e *Engine) markM(n *MNode) {
+	if n == mTerminal || n == nil || n.mark == e.epoch {
+		return
+	}
+	n.mark = e.epoch
+	for i := range n.E {
+		e.markM(n.E[i].N)
+	}
 }

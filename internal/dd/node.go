@@ -26,21 +26,29 @@ import "repro/internal/cnum"
 
 // VNode is a decision-diagram node of a state vector. E[0] leads to the
 // sub-vector where this node's qubit is |0>, E[1] to the |1> half.
+//
+// Nodes live in their engine's arena (see arena.go) and are indexed by
+// the open-addressing unique table (see table.go); the full key hash is
+// precomputed into the node so probing and rehashing never recompute
+// it. On free-listed nodes E[0].N doubles as the free-list link.
 type VNode struct {
 	E    [2]VEdge
 	V    int32  // qubit/variable index; -1 marks the terminal
-	id   uint32 // engine-unique identity used for hashing
-	mark uint32 // engine traversal epoch (see Engine.SizeV)
+	id   uint32 // engine-unique identity used for cache hashing
+	mark uint32 // engine traversal epoch (see Engine.SizeV, GC marking)
+	hash uint32 // unique-table hash of (V, E), fixed at creation
 }
 
 // MNode is a decision-diagram node of a matrix. The four successors are
 // the quadrants in row-major order: E[2*row+col] with row the output
-// (ket) bit and col the input (bra) bit of this node's qubit.
+// (ket) bit and col the input (bra) bit of this node's qubit. Storage
+// follows the same arena/unique-table scheme as VNode.
 type MNode struct {
 	E    [4]MEdge
 	V    int32
 	id   uint32
 	mark uint32
+	hash uint32
 }
 
 // VEdge is a weighted edge into a vector DD. The amplitude of a basis
@@ -104,6 +112,11 @@ func (e MEdge) Qubits() int { return int(e.N.V) + 1 }
 
 // Size returns the number of distinct non-terminal nodes reachable from
 // e, the node count the paper's max-size strategy is parameterised on.
+//
+// Deprecated: Size allocates a visited map per call. Engine-owning
+// callers should use Engine.SizeV, which reuses the engine's traversal
+// epoch and is allocation-free; this walker remains for engine-less
+// contexts (e.g. inspecting deserialised diagrams in tests).
 func (e VEdge) Size() int {
 	seen := make(map[*VNode]struct{})
 	var walk func(*VNode)
@@ -124,6 +137,9 @@ func (e VEdge) Size() int {
 
 // Size returns the number of distinct non-terminal nodes reachable from
 // e.
+//
+// Deprecated: see VEdge.Size; use Engine.SizeM where an engine is at
+// hand.
 func (e MEdge) Size() int {
 	seen := make(map[*MNode]struct{})
 	var walk func(*MNode)

@@ -243,35 +243,39 @@ func (e *Engine) MeasureQubit(v VEdge, q int, rng *rand.Rand) (int, VEdge) {
 
 // Project projects the state onto qubit q having the given value and
 // renormalises. Panics if the projected state has (near-)zero norm.
+// The per-call memo lives in an engine-owned scratch table (stamped
+// with a per-call generation), so projecting allocates nothing beyond
+// the result nodes themselves.
 func (e *Engine) Project(v VEdge, q int, value int) VEdge {
-	memo := make(map[*VNode]VEdge)
-	var rec func(n *VNode) VEdge
-	rec = func(n *VNode) VEdge {
-		if n == vTerminal {
-			return VOne()
-		}
-		if r, ok := memo[n]; ok {
-			return r
-		}
-		var r VEdge
-		if int(n.V) == q {
-			if value == 0 {
-				r = e.makeVNode(n.V, n.E[0], VZero())
-			} else {
-				r = e.makeVNode(n.V, VZero(), n.E[1])
-			}
-		} else {
-			c0 := rec(n.E[0].N)
-			c1 := rec(n.E[1].N)
-			r = e.makeVNode(n.V,
-				e.scaleV(c0, n.E[0].W),
-				e.scaleV(c1, n.E[1].W))
-		}
-		memo[n] = r
-		return r
-	}
-	projected := e.scaleV(rec(v.N), v.W)
+	e.bumpProjGen()
+	projected := e.scaleV(e.project(v.N, q, value), v.W)
 	return e.Normalize(projected)
+}
+
+func (e *Engine) project(n *VNode, q, value int) VEdge {
+	if n == vTerminal {
+		return VOne()
+	}
+	idx := mix(n.id, 0x85ebca77) & scratchMask
+	if s := &e.projTab[idx]; s.gen == e.projGen && s.n == n.id {
+		return s.r
+	}
+	var r VEdge
+	if int(n.V) == q {
+		if value == 0 {
+			r = e.makeVNode(n.V, n.E[0], VZero())
+		} else {
+			r = e.makeVNode(n.V, VZero(), n.E[1])
+		}
+	} else {
+		c0 := e.project(n.E[0].N, q, value)
+		c1 := e.project(n.E[1].N, q, value)
+		r = e.makeVNode(n.V,
+			e.scaleV(c0, n.E[0].W),
+			e.scaleV(c1, n.E[1].W))
+	}
+	e.projTab[idx] = projSlot{n: n.id, r: r, gen: e.projGen}
+	return r
 }
 
 // ResetQubit projects qubit q to the measured value and then flips it to

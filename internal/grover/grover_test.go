@@ -216,7 +216,7 @@ func TestGroverStateStaysCompact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s := res.State.Size(); s > 3*12 {
+	if s := res.Engine.SizeV(res.State); s > 3*12 {
 		t.Fatalf("grover state DD has %d nodes, expected O(n)", s)
 	}
 }

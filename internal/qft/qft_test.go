@@ -132,7 +132,7 @@ func TestQFTStateIsCompactDD(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.State.Size() != n {
-		t.Fatalf("QFT|0> DD size %d, want %d", res.State.Size(), n)
+	if res.Engine.SizeV(res.State) != n {
+		t.Fatalf("QFT|0> DD size %d, want %d", res.Engine.SizeV(res.State), n)
 	}
 }

@@ -221,9 +221,9 @@ func TestEntanglementGrowth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if deep.State.Size() <= shallow.State.Size() {
+	if deep.Engine.SizeV(deep.State) <= shallow.Engine.SizeV(shallow.State) {
 		t.Fatalf("state DD did not grow with depth: %d vs %d",
-			shallow.State.Size(), deep.State.Size())
+			shallow.Engine.SizeV(shallow.State), deep.Engine.SizeV(deep.State))
 	}
 	_ = gates.I // keep the import for documentation symmetry
 }
