@@ -36,11 +36,12 @@ func main() {
 		full       = flag.Bool("full", false, "larger instances (several minutes; table2 adds the paper's moduli)")
 		reps       = flag.Int("reps", 1, "timing repetitions (fastest run reported)")
 		budget     = flag.Duration("budget", 30*time.Second, "per-run timeout (paper: 2 CPU hours)")
+		maxNodes   = flag.Int("max-nodes", 0, "per-run live-node budget; exceeding runs are reported as oom cells (0 = unlimited)")
 		csvDir     = flag.String("csvdir", "", "also write raw experiment data as CSV files into this directory")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Reps: *reps, Budget: *budget, Full: *full}
+	cfg := bench.Config{Reps: *reps, Budget: *budget, MaxNodes: *maxNodes, Full: *full}
 
 	run := func(name string, f func(bench.Config) (text, csv string, err error)) {
 		start := time.Now()

@@ -14,9 +14,19 @@
 // (-smax), adaptive (-ratio), combine-all. -blocks additionally enables
 // the DD-repeating treatment of "repeat" blocks in the input. -dot
 // dumps the final state DD in Graphviz format.
+//
+// Resilience: -timeout bounds the wall-clock time, -max-nodes bounds
+// live DD nodes (combination strategies degrade to sequential replay
+// under the cap unless -no-fallback is set), -checkpoint periodically
+// saves a resumable snapshot that -resume restarts from. Aborted runs
+// print a partial-progress report and exit with a distinct status:
+//
+//	0 success   2 usage      4 node budget exceeded   6 internal panic
+//	1 error     3 timeout    5 canceled
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +34,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/cnum"
@@ -48,6 +59,13 @@ func main() {
 		dotOut    = flag.String("dot", "", "write the final state DD in Graphviz DOT format to this file")
 		optimize  = flag.Bool("optimize", false, "run the peephole optimiser before simulating")
 		stats     = flag.Bool("stats", false, "print engine statistics (cache hit rates, GC, memory layout)")
+
+		timeout    = flag.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = none)")
+		maxNodes   = flag.Int("max-nodes", 0, "abort operations whose live DD nodes exceed this budget (0 = unlimited)")
+		noFallback = flag.Bool("no-fallback", false, "fail immediately on a node-budget abort instead of replaying the gate run sequentially")
+		ckptPath   = flag.String("checkpoint", "", "save a resumable checkpoint to this file (periodically and on abort)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "gates between periodic checkpoints (0 = checkpoint only on abort)")
+		resume     = flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
 	)
 	flag.Parse()
 
@@ -76,11 +94,23 @@ func main() {
 		fatal(err)
 	}
 
+	baseOpt := core.Options{
+		Strategy:        st,
+		UseBlocks:       *blocks,
+		RecordTrace:     *showTrace,
+		MaxNodes:        *maxNodes,
+		DisableFallback: *noFallback,
+		Seed:            *seed,
+	}
+	if *timeout > 0 {
+		baseOpt.Deadline = time.Now().Add(*timeout)
+	}
+
 	// OpenQASM programs containing measurements, resets or classical
 	// control run as dynamic circuits: one execution per shot, classical
 	// histogram reported.
 	if isQASM(text) && hasDynamicOps(text) {
-		runDynamic(text, st, *shots, *seed)
+		runDynamic(text, baseOpt, *shots, *seed)
 		return
 	}
 
@@ -93,9 +123,43 @@ func main() {
 		fmt.Printf("optimiser:      removed %d of %d gates\n", ostats.Removed(), c.GateCount())
 		c = optimised
 	}
-	res, err := core.Run(c, core.Options{Strategy: st, UseBlocks: *blocks, RecordTrace: *showTrace})
+
+	runOpt := baseOpt
+	eng := dd.New()
+	runOpt.Engine = eng
+	if *resume != "" {
+		ck, err := core.LoadCheckpoint(*resume, eng)
+		if err != nil {
+			fatal(err)
+		}
+		runOpt, err = core.ResumeOptions(runOpt, c, ck)
+		if err != nil {
+			fatal(err)
+		}
+		// The checkpoint's recorded seed wins unless -seed was given
+		// explicitly on this invocation.
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedSet = true
+			}
+		})
+		if !seedSet {
+			*seed = ck.Seed
+		}
+		fmt.Printf("resumed:        %s at gate %d of %d (seed %d)\n",
+			*resume, ck.NextGate, c.GateCount(), *seed)
+	}
+	if *ckptPath != "" {
+		runOpt.CheckpointEvery = *ckptEvery
+		runOpt.OnCheckpoint = func(ck *core.Checkpoint) error {
+			return core.SaveCheckpoint(*ckptPath, ck)
+		}
+	}
+
+	res, err := core.Run(c, runOpt)
 	if err != nil {
-		fatal(err)
+		reportFailure(res, c, err, *ckptPath)
 	}
 
 	fmt.Printf("circuit:        %s (%d qubits, %d gates, depth %d)\n",
@@ -104,6 +168,10 @@ func main() {
 	fmt.Printf("runtime:        %v\n", res.Duration)
 	fmt.Printf("mat-vec steps:  %d\n", res.MatVecSteps)
 	fmt.Printf("mat-mat steps:  %d\n", res.MatMatSteps)
+	if res.Fallbacks > 0 {
+		fmt.Printf("fallbacks:      %d (gate runs replayed sequentially under -max-nodes %d)\n",
+			res.Fallbacks, *maxNodes)
+	}
 	fmt.Printf("state DD size:  %d nodes\n", res.Engine.SizeV(res.State))
 	fmt.Printf("norm:           %.9f\n", res.State.Norm())
 
@@ -183,19 +251,54 @@ func hasDynamicOps(text string) bool {
 	return false
 }
 
+// reportFailure prints a partial-progress report for an aborted run and
+// exits with a status distinguishing the failure class (3 deadline,
+// 4 budget, 5 canceled, 6 recovered panic / injected fault).
+func reportFailure(res *core.Result, c *circuit.Circuit, err error, ckptPath string) {
+	var re *core.RunError
+	if !errors.As(err, &re) {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ddsim: %v\n", err)
+	if res != nil {
+		fmt.Fprintf(os.Stderr, "  gates applied:  %d of %d\n", res.GatesApplied, c.GateCount())
+		fmt.Fprintf(os.Stderr, "  live nodes:     %d\n",
+			res.Engine.VNodeCount()+res.Engine.MNodeCount())
+		fmt.Fprintf(os.Stderr, "  peak op matrix: %d nodes\n", res.Stats.PeakMatrixSize)
+		if res.Fallbacks > 0 {
+			fmt.Fprintf(os.Stderr, "  fallbacks:      %d\n", res.Fallbacks)
+		}
+		fmt.Fprintf(os.Stderr, "  runtime:        %v\n", res.Duration)
+	}
+	if ckptPath != "" {
+		fmt.Fprintf(os.Stderr, "  checkpoint:     %s (resume with -resume %s)\n", ckptPath, ckptPath)
+	}
+	switch re.Kind {
+	case core.FailureDeadline:
+		os.Exit(3)
+	case core.FailureBudget:
+		os.Exit(4)
+	case core.FailureCanceled:
+		os.Exit(5)
+	default:
+		os.Exit(6)
+	}
+}
+
 // runDynamic executes a dynamic OpenQASM program shot by shot.
-func runDynamic(text string, st core.Strategy, shots int, seed int64) {
+func runDynamic(text string, opt core.Options, shots int, seed int64) {
 	prog, err := qasm.ParseDynamicString(text)
 	if err != nil {
 		fatal(err)
 	}
+	st := opt.Strategy
 	if shots <= 0 {
 		shots = 1
 	}
 	rng := rand.New(rand.NewSource(seed))
 	counts := map[uint64]int{}
 	for i := 0; i < shots; i++ {
-		res, err := prog.Run(core.Options{Strategy: st}, rng)
+		res, err := prog.Run(opt, rng)
 		if err != nil {
 			fatal(err)
 		}

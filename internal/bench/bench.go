@@ -35,6 +35,11 @@ type Config struct {
 	// Budget caps a single simulation run; runs exceeding it are
 	// reported as timeouts (the paper's ">7200s" rows).
 	Budget time.Duration
+	// MaxNodes caps the live DD nodes of a single run; runs exceeding it
+	// are reported as "oom" cells (the memory analogue of Budget).
+	// Strategy fallback is disabled so the cell reflects the strategy as
+	// configured. Zero means unlimited.
+	MaxNodes int
 	// Full selects the larger instances (several minutes of total
 	// runtime instead of tens of seconds).
 	Full bool
@@ -117,25 +122,54 @@ func FigWorkloads(full bool) []Workload {
 type Measurement struct {
 	Seconds  float64
 	TimedOut bool
+	OOM      bool // node budget exceeded (cfg.MaxNodes)
 	Err      error
 }
 
+// Mark classifies the measurement for table cells: "" for a clean run,
+// "timeout", "oom", or "error". Sweeps record the mark per cell instead
+// of aborting, so one blown configuration cannot kill a whole
+// experiment.
+func (m Measurement) Mark() string {
+	switch {
+	case m.TimedOut:
+		return "timeout"
+	case m.OOM:
+		return "oom"
+	case m.Err != nil:
+		return "error"
+	}
+	return ""
+}
+
 // Time runs w under opt, repeating cfg.Reps times and keeping the
-// fastest run. A run that exceeds cfg.Budget reports a timeout.
+// fastest run. A run that exceeds cfg.Budget reports a timeout; one
+// that exceeds cfg.MaxNodes reports an OOM. Other failures are captured
+// in Err rather than propagated, so sweeps degrade per cell.
 func Time(w Workload, opt core.Options, cfg Config) Measurement {
 	best := math.Inf(1)
 	for i := 0; i < cfg.reps(); i++ {
 		if cfg.Budget > 0 {
 			opt.Deadline = time.Now().Add(cfg.Budget)
 		}
+		if cfg.MaxNodes > 0 {
+			opt.MaxNodes = cfg.MaxNodes
+			// The cell reports whether the strategy as configured fits the
+			// budget; silent degradation would blur the comparison.
+			opt.DisableFallback = true
+		}
 		start := time.Now()
 		err := w.Run(opt)
 		elapsed := time.Since(start).Seconds()
 		if err != nil {
-			if isDeadline(err) {
+			switch {
+			case isDeadline(err):
 				return Measurement{Seconds: cfg.Budget.Seconds(), TimedOut: true}
+			case errors.Is(err, core.ErrBudgetExceeded):
+				return Measurement{Seconds: elapsed, OOM: true, Err: err}
+			default:
+				return Measurement{Err: err}
 			}
-			return Measurement{Err: err}
 		}
 		if elapsed < best {
 			best = elapsed

@@ -313,3 +313,75 @@ func TestTraceCSV(t *testing.T) {
 		t.Fatalf("trace csv:\n%s", csv)
 	}
 }
+
+// TestTimeReportsOOM checks the node-budget mapping: a run exceeding
+// cfg.MaxNodes is marked "oom", not propagated as a fatal error.
+func TestTimeReportsOOM(t *testing.T) {
+	cfg := Config{Reps: 1, Budget: time.Minute, MaxNodes: 5}
+	m := Time(GroverWorkload(10), core.Options{Strategy: core.Sequential{}}, cfg)
+	if !m.OOM || m.Mark() != "oom" {
+		t.Fatalf("measurement %+v, want oom", m)
+	}
+	if !errors.Is(m.Err, core.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", m.Err)
+	}
+}
+
+// TestSweepResilient checks that one blown workload cannot kill a
+// sweep: its cells carry marks while the healthy workload still
+// produces speed-ups, and the rendered/CSV outputs surface the marks.
+func TestSweepResilient(t *testing.T) {
+	boom := Workload{Name: "boom", Run: func(core.Options) error { return errors.New("boom") }}
+	ws := []Workload{GroverWorkload(6), boom}
+	cfg := Config{Reps: 1, Budget: time.Minute}
+	params := []int{2, 4}
+	res, err := sweep(cfg, "resilient sweep", "k", params,
+		func(p int) core.Strategy { return core.KOperations{K: p} }, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Speedups[0] {
+		if math.IsNaN(v) || v <= 0 {
+			t.Fatalf("healthy workload got invalid speed-up %v", v)
+		}
+	}
+	if res.baselineMark(1) != "error" {
+		t.Fatalf("baseline mark = %q, want error", res.baselineMark(1))
+	}
+	for pi := range params {
+		if !math.IsNaN(res.Speedups[1][pi]) || res.mark(1, pi) != "error" {
+			t.Fatalf("blown cell %d: speedup %v mark %q", pi, res.Speedups[1][pi], res.mark(1, pi))
+		}
+	}
+	out := RenderSweep(res)
+	if !strings.Contains(out, "error") {
+		t.Fatalf("render hides the marks:\n%s", out)
+	}
+	csv := res.CSV()
+	if !strings.Contains(csv, "error") {
+		t.Fatalf("CSV hides the marks:\n%s", csv)
+	}
+}
+
+// TestTable1Resilient checks that an OOM-marked column is reported
+// instead of failing the table.
+func TestTable1Resilient(t *testing.T) {
+	cfg := Config{Reps: 1, Budget: time.Minute, MaxNodes: 5}
+	rows, err := Table1(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.SotaMark != "oom" || r.GeneralMark != "oom" || r.RepeatingMark != "oom" {
+		t.Fatalf("marks %q %q %q, want oom everywhere under a 5-node budget",
+			r.SotaMark, r.GeneralMark, r.RepeatingMark)
+	}
+	for _, out := range []string{RenderTable1(rows), Table1CSV(rows)} {
+		if !strings.Contains(out, "oom") {
+			t.Fatalf("output hides the oom marks:\n%s", out)
+		}
+	}
+}

@@ -6,9 +6,10 @@ import (
 	"strings"
 )
 
-// CSV renders a sweep as comma-separated values (one row per parameter;
-// empty cells mark timeouts) — the raw data behind the paper's figures,
-// ready for external plotting.
+// CSV renders a sweep as comma-separated values (one row per parameter)
+// — the raw data behind the paper's figures, ready for external
+// plotting. Failed cells carry their mark ("timeout", "oom", "error");
+// results without mark data leave them empty.
 func (r *SweepResult) CSV() string {
 	var sb strings.Builder
 	sb.WriteString(csvEscape(r.Param))
@@ -19,9 +20,13 @@ func (r *SweepResult) CSV() string {
 	sb.WriteString(",average\n")
 
 	sb.WriteString("baseline_seconds")
-	for _, b := range r.Baseline {
+	for wi, b := range r.Baseline {
 		sb.WriteByte(',')
-		sb.WriteString(csvFloat(b))
+		if m := r.baselineMark(wi); m != "" {
+			sb.WriteString(m)
+		} else {
+			sb.WriteString(csvFloat(b))
+		}
 	}
 	sb.WriteString(",\n")
 
@@ -29,7 +34,11 @@ func (r *SweepResult) CSV() string {
 		fmt.Fprintf(&sb, "%d", p)
 		for wi := range r.Names {
 			sb.WriteByte(',')
-			sb.WriteString(csvFloat(r.Speedups[wi][pi]))
+			if m := r.mark(wi, pi); m != "" {
+				sb.WriteString(m)
+			} else {
+				sb.WriteString(csvFloat(r.Speedups[wi][pi]))
+			}
 		}
 		sb.WriteByte(',')
 		sb.WriteString(csvFloat(r.Average[pi]))
@@ -38,32 +47,41 @@ func (r *SweepResult) CSV() string {
 	return sb.String()
 }
 
-// Table1CSV renders Table I rows as CSV.
+// Table1CSV renders Table I rows as CSV; failed cells carry their mark.
 func Table1CSV(rows []Table1Row) string {
 	var sb strings.Builder
 	sb.WriteString("benchmark,t_sota,t_general,t_dd_repeating,best_general\n")
 	for _, r := range rows {
 		fmt.Fprintf(&sb, "%s,%s,%s,%s,%s\n",
-			csvEscape(r.Name), csvFloat(r.TSota), csvFloat(r.TGeneral),
-			csvFloat(r.TRepeating), csvEscape(r.GeneralName))
+			csvEscape(r.Name),
+			csvCell(r.TSota, r.SotaMark),
+			csvCell(r.TGeneral, r.GeneralMark),
+			csvCell(r.TRepeating, r.RepeatingMark),
+			csvEscape(r.GeneralName))
 	}
 	return sb.String()
 }
 
 // Table2CSV renders Table II rows as CSV; timed-out cells carry the
-// budget prefixed with ">".
+// budget prefixed with ">", other failures their mark.
 func Table2CSV(rows []Table2Row, budget float64) string {
 	var sb strings.Builder
 	sb.WriteString("benchmark,qubits_gate,t_sota,t_general,t_dd_construct,qubits_construct,best_general\n")
 	for _, r := range rows {
 		sota := csvFloat(r.TSota)
-		if r.SotaTimeout {
+		switch {
+		case r.SotaTimeout:
 			sota = fmt.Sprintf(">%g", budget)
+		case r.SotaMark != "":
+			sota = r.SotaMark
 		}
 		general := csvFloat(r.TGeneral)
 		name := r.GeneralName
 		if r.GeneralTimeout {
 			general = fmt.Sprintf(">%g", budget)
+			if r.GeneralMark != "" && r.GeneralMark != "timeout" {
+				general = r.GeneralMark
+			}
 			name = ""
 		}
 		fmt.Fprintf(&sb, "%s,%d,%s,%s,%s,%d,%s\n",
@@ -71,6 +89,14 @@ func Table2CSV(rows []Table2Row, budget float64) string {
 			csvFloat(r.TConstruct), r.QubitsConstruct, csvEscape(name))
 	}
 	return sb.String()
+}
+
+// csvCell renders a time cell, preferring the failure mark.
+func csvCell(v float64, mark string) string {
+	if mark != "" {
+		return mark
+	}
+	return csvFloat(v)
 }
 
 // TraceCSV renders the Fig. 5 size traces as CSV (long format: one row

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"time"
@@ -26,8 +25,28 @@ type SweepResult struct {
 	Params   []int
 	Names    []string    // workload names
 	Baseline []float64   // sequential seconds per workload
-	Speedups [][]float64 // [workload][param]; NaN marks a timeout/error
+	Speedups [][]float64 // [workload][param]; NaN marks a timeout/oom/error
 	Average  []float64   // geometric mean per param over valid entries
+	// Marks records why a cell is NaN ("timeout", "oom", "error"; "" for
+	// clean cells). BaselineMark does the same for the baseline column.
+	// Both may be nil on results built before marks existed.
+	Marks        [][]string
+	BaselineMark []string
+}
+
+// mark returns the cell mark, tolerating results without mark data.
+func (r *SweepResult) mark(wi, pi int) string {
+	if r.Marks == nil || wi >= len(r.Marks) || pi >= len(r.Marks[wi]) {
+		return ""
+	}
+	return r.Marks[wi][pi]
+}
+
+func (r *SweepResult) baselineMark(wi int) string {
+	if wi >= len(r.BaselineMark) {
+		return ""
+	}
+	return r.BaselineMark[wi]
 }
 
 // Fig8Params are the k values swept for strategy k-operations.
@@ -52,28 +71,26 @@ func sweep(cfg Config, title, param string, params []int, mk func(int) core.Stra
 	res := &SweepResult{Title: title, Param: param, Params: params}
 	for _, w := range ws {
 		base := Time(w, core.Options{Strategy: core.Sequential{}}, cfg)
-		if base.Err != nil {
-			return nil, fmt.Errorf("bench: %s sequential: %w", w.Name, base.Err)
-		}
 		res.Names = append(res.Names, w.Name)
+		res.BaselineMark = append(res.BaselineMark, base.Mark())
 		baseSec := base.Seconds
-		if base.TimedOut {
+		if base.Mark() != "" {
 			baseSec = math.NaN()
 		}
 		res.Baseline = append(res.Baseline, baseSec)
 		row := make([]float64, len(params))
+		marks := make([]string, len(params))
 		for i, p := range params {
 			m := Time(w, core.Options{Strategy: mk(p)}, cfg)
-			switch {
-			case m.Err != nil:
-				return nil, fmt.Errorf("bench: %s %s=%d: %w", w.Name, param, p, m.Err)
-			case m.TimedOut || base.TimedOut:
+			marks[i] = m.Mark()
+			if m.Mark() != "" || base.Mark() != "" {
 				row[i] = math.NaN()
-			default:
+			} else {
 				row[i] = base.Seconds / m.Seconds
 			}
 		}
 		res.Speedups = append(res.Speedups, row)
+		res.Marks = append(res.Marks, marks)
 	}
 	res.Average = make([]float64, len(params))
 	for i := range params {
@@ -95,13 +112,18 @@ func sweep(cfg Config, title, param string, params []int, mk func(int) core.Stra
 
 // --- Table I: grover with DD-repeating ----------------------------------
 
-// Table1Row mirrors one row of the paper's Table I.
+// Table1Row mirrors one row of the paper's Table I. The mark fields
+// carry "timeout" / "oom" / "error" when the corresponding column
+// failed ("" for clean cells); its time is then NaN.
 type Table1Row struct {
-	Name        string
-	TSota       float64 // sequential (state of the art)
-	TGeneral    float64 // best general strategy
-	GeneralName string  // which general strategy won
-	TRepeating  float64 // DD-repeating (block matrix re-used)
+	Name          string
+	TSota         float64 // sequential (state of the art)
+	SotaMark      string
+	TGeneral      float64 // best general strategy
+	GeneralName   string  // which general strategy won
+	GeneralMark   string
+	TRepeating    float64 // DD-repeating (block matrix re-used)
+	RepeatingMark string
 }
 
 // Table1Sizes returns the grover sizes benchmarked (paper: 23–29
@@ -136,28 +158,35 @@ func Table1(cfg Config, sizes ...int) ([]Table1Row, error) {
 	for _, n := range sizes {
 		w := GroverWorkload(n)
 		sota := Time(w, core.Options{Strategy: core.Sequential{}}, cfg)
-		if sota.Err != nil {
-			return nil, sota.Err
+		row := Table1Row{Name: w.Name, TSota: sota.Seconds, SotaMark: sota.Mark()}
+		if sota.Mark() != "" {
+			row.TSota = math.NaN()
 		}
-		row := Table1Row{Name: w.Name, TSota: sota.Seconds}
 
 		row.TGeneral = math.Inf(1)
+		failMark := "timeout"
+		anyClean := false
 		for _, st := range generalStrategies() {
 			m := Time(w, core.Options{Strategy: st}, cfg)
-			if m.Err != nil {
-				return nil, m.Err
+			if m.Mark() != "" {
+				failMark = m.Mark()
+				continue
 			}
-			if !m.TimedOut && m.Seconds < row.TGeneral {
+			anyClean = true
+			if m.Seconds < row.TGeneral {
 				row.TGeneral = m.Seconds
 				row.GeneralName = st.Name()
 			}
 		}
+		if !anyClean {
+			row.TGeneral, row.GeneralMark = math.NaN(), failMark
+		}
 
 		rep := Time(w, core.Options{Strategy: core.Sequential{}, UseBlocks: true}, cfg)
-		if rep.Err != nil {
-			return nil, rep.Err
+		row.TRepeating, row.RepeatingMark = rep.Seconds, rep.Mark()
+		if rep.Mark() != "" {
+			row.TRepeating = math.NaN()
 		}
-		row.TRepeating = rep.Seconds
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -166,15 +195,18 @@ func Table1(cfg Config, sizes ...int) ([]Table1Row, error) {
 // --- Table II: shor with DD-construct -----------------------------------
 
 // Table2Row mirrors one row of the paper's Table II. Timeout flags
-// correspond to the paper's ">7200.00" entries.
+// correspond to the paper's ">7200.00" entries; the mark fields
+// additionally distinguish "oom" and "error" cells under a node budget.
 type Table2Row struct {
 	Name            string
 	QubitsGate      int // 2n+3 qubits of the gate-level circuit
 	QubitsConstruct int // n+1 qubits of the DD-construct run
 	TSota           float64
 	SotaTimeout     bool
+	SotaMark        string
 	TGeneral        float64
 	GeneralTimeout  bool
+	GeneralMark     string
 	GeneralName     string
 	TConstruct      float64
 }
@@ -217,19 +249,18 @@ func Table2(cfg Config, instances ...ShorInstance) ([]Table2Row, error) {
 		}
 
 		sota := Time(w, core.Options{Strategy: core.Sequential{}}, cfg)
-		if sota.Err != nil {
-			return nil, sota.Err
-		}
-		row.TSota, row.SotaTimeout = sota.Seconds, sota.TimedOut
+		row.TSota, row.SotaTimeout, row.SotaMark = sota.Seconds, sota.TimedOut, sota.Mark()
 
 		row.TGeneral = math.Inf(1)
 		row.GeneralTimeout = true
+		failMark := "timeout"
 		for _, st := range generalStrategies() {
 			m := Time(w, core.Options{Strategy: st}, cfg)
-			if m.Err != nil {
-				return nil, m.Err
+			if m.Mark() != "" {
+				failMark = m.Mark()
+				continue
 			}
-			if !m.TimedOut && m.Seconds < row.TGeneral {
+			if m.Seconds < row.TGeneral {
 				row.TGeneral = m.Seconds
 				row.GeneralName = st.Name()
 				row.GeneralTimeout = false
@@ -237,6 +268,7 @@ func Table2(cfg Config, instances ...ShorInstance) ([]Table2Row, error) {
 		}
 		if row.GeneralTimeout {
 			row.TGeneral = cfg.Budget.Seconds()
+			row.GeneralMark = failMark
 		}
 
 		start := time.Now()

@@ -23,14 +23,22 @@ func RenderSweep(r *SweepResult) string {
 
 	fmt.Fprintf(&sb, "%-22s", "(baseline)")
 	for i, name := range r.Names {
-		fmt.Fprintf(&sb, "%*s", colWidth(name), fmt.Sprintf("[%ss]", fmtSec(r.Baseline[i])))
+		cell := fmtSec(r.Baseline[i])
+		if m := r.baselineMark(i); m != "" {
+			cell = m
+		}
+		fmt.Fprintf(&sb, "%*s", colWidth(name), fmt.Sprintf("[%ss]", cell))
 	}
 	sb.WriteString("\n")
 
 	for pi, p := range r.Params {
 		fmt.Fprintf(&sb, "%-22d", p)
 		for wi, name := range r.Names {
-			fmt.Fprintf(&sb, "%*s", colWidth(name), fmtSpeedup(r.Speedups[wi][pi]))
+			cell := fmtSpeedup(r.Speedups[wi][pi])
+			if m := r.mark(wi, pi); m != "" {
+				cell = m
+			}
+			fmt.Fprintf(&sb, "%*s", colWidth(name), cell)
 		}
 		fmt.Fprintf(&sb, "%12s\n", fmtSpeedup(r.Average[pi]))
 	}
@@ -112,9 +120,18 @@ func RenderTable1(rows []Table1Row) string {
 	fmt.Fprintf(&sb, "%-14s %12s %12s %14s   %s\n", "Benchmark", "t_sota", "t_general", "t_DD-repeat", "(best general)")
 	for _, r := range rows {
 		fmt.Fprintf(&sb, "%-14s %12s %12s %14s   %s\n",
-			r.Name, fmtSec(r.TSota), fmtSec(r.TGeneral), fmtSec(r.TRepeating), r.GeneralName)
+			r.Name, fmtCell(r.TSota, r.SotaMark), fmtCell(r.TGeneral, r.GeneralMark),
+			fmtCell(r.TRepeating, r.RepeatingMark), r.GeneralName)
 	}
 	return sb.String()
+}
+
+// fmtCell renders a seconds cell, preferring the failure mark.
+func fmtCell(v float64, mark string) string {
+	if mark != "" {
+		return mark
+	}
+	return fmtSec(v)
 }
 
 // RenderTable2 renders Table II.
@@ -127,13 +144,19 @@ func RenderTable2(rows []Table2Row, budget float64) string {
 		"Benchmark", "qubits", "t_sota", "t_general", "t_DD-construct", "qubits'", "(best general)")
 	for _, r := range rows {
 		sota := fmtSec(r.TSota)
-		if r.SotaTimeout {
+		switch {
+		case r.SotaTimeout:
 			sota = fmt.Sprintf(">%s", fmtSec(budget))
+		case r.SotaMark != "":
+			sota = r.SotaMark
 		}
 		general := fmtSec(r.TGeneral)
 		name := r.GeneralName
 		if r.GeneralTimeout {
 			general = fmt.Sprintf(">%s", fmtSec(budget))
+			if r.GeneralMark != "" && r.GeneralMark != "timeout" {
+				general = r.GeneralMark
+			}
 			name = ""
 		}
 		fmt.Fprintf(&sb, "%-16s %7d %12s %12s %15s %8d   %s\n",

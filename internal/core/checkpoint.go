@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/circuit"
+	"repro/internal/dd"
+)
+
+// Checkpoint is a resumable snapshot of a simulation: the state DD
+// after NextGate gates, plus the bookkeeping needed to continue the
+// run and reproduce downstream sampling.
+//
+// On-disk format (see DESIGN.md "Resilience"): an 8-byte magic
+// "DDCKPT1\n", a varint-encoded header (circuit name, qubit count,
+// next gate index, RNG seed, fallback count), then the state DD in the
+// serialize.go DDV1 format.
+type Checkpoint struct {
+	CircuitName string
+	NQubits     int
+	// NextGate is the index of the first gate NOT yet reflected in
+	// State; resuming sets Options.StartGate to it.
+	NextGate  int
+	Seed      int64
+	Fallbacks int
+	State     dd.VEdge
+}
+
+var ckptMagic = [8]byte{'D', 'D', 'C', 'K', 'P', 'T', '1', '\n'}
+
+// WriteCheckpoint serialises ck to w.
+func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(ckptMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(ck.CircuitName))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(ck.CircuitName); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(ck.NQubits)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(ck.NextGate)); err != nil {
+		return err
+	}
+	n := binary.PutVarint(buf[:], ck.Seed)
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(ck.Fallbacks)); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// WriteV takes the raw writer; bw is flushed so ordering is safe.
+	return dd.WriteV(w, ck.State)
+}
+
+// ReadCheckpoint deserialises a checkpoint from r, building the state
+// DD in e.
+func ReadCheckpoint(r io.Reader, e *dd.Engine) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint magic: %w", err)
+	}
+	if magic != ckptMagic {
+		return nil, fmt.Errorf("core: not a checkpoint file (magic %q)", magic[:])
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("core: checkpoint name length %d implausible", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("core: checkpoint name: %w", err)
+	}
+	nq, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	nextGate, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	seed, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	fallbacks, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	// ReadV buffers internally, so the shared bufio.Reader keeps byte
+	// positions consistent between header and DD payload.
+	state, err := dd.ReadV(br, e)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint state: %w", err)
+	}
+	ck := &Checkpoint{
+		CircuitName: string(name),
+		NQubits:     int(nq),
+		NextGate:    int(nextGate),
+		Seed:        seed,
+		Fallbacks:   int(fallbacks),
+		State:       state,
+	}
+	return ck, nil
+}
+
+// SaveCheckpoint writes ck to path atomically (temp file + rename), so
+// a crash mid-write never clobbers an existing good checkpoint.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	if err := WriteCheckpoint(f, ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: writing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: installing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint from path into e.
+func LoadCheckpoint(path string, e *dd.Engine) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ReadCheckpoint(f, e)
+}
+
+// ResumeOptions prepares opt for resuming c from ck: the checkpoint's
+// state becomes the initial state, StartGate skips the already-applied
+// prefix, and the recorded seed is restored. It validates that the
+// checkpoint matches the circuit.
+func ResumeOptions(opt Options, c *circuit.Circuit, ck *Checkpoint) (Options, error) {
+	if ck.NQubits != c.NQubits {
+		return opt, fmt.Errorf("core: checkpoint has %d qubits, circuit %q has %d", ck.NQubits, c.Name, c.NQubits)
+	}
+	if ck.NextGate < 0 || ck.NextGate > len(c.Gates) {
+		return opt, fmt.Errorf("core: checkpoint gate index %d out of range for %d gates", ck.NextGate, len(c.Gates))
+	}
+	if ck.CircuitName != "" && c.Name != "" && ck.CircuitName != c.Name {
+		return opt, fmt.Errorf("core: checkpoint is for circuit %q, not %q", ck.CircuitName, c.Name)
+	}
+	st := ck.State
+	opt.InitialState = &st
+	opt.StartGate = ck.NextGate
+	opt.Seed = ck.Seed
+	return opt, nil
+}

@@ -19,9 +19,16 @@
 //     without any additional matrix-matrix multiplication.
 //   - Direct construction (DD-construct) is provided by the shor package
 //     on top of dd.FromPermutation; see internal/shor.
+//
+// Runs are resilient (see DESIGN.md "Resilience"): RunContext supports
+// cooperative cancellation, wall-clock deadlines and live-node budgets,
+// every engine panic is recovered into a typed *RunError, strategies
+// degrade to sequential replay when a combination trips the budget, and
+// checkpoints allow aborted runs to be resumed.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -128,28 +135,136 @@ type Options struct {
 	UseBlocks bool
 	// GCThreshold is the live-node count above which the engine is
 	// garbage collected between steps. Zero selects the default (200k);
-	// negative disables collection.
+	// negative disables collection. When MaxNodes is set, the effective
+	// threshold is clamped to 3/4 of the budget so collection keeps the
+	// live set under the cap whenever the workload allows.
 	GCThreshold int
 	// RecordTrace records the DD sizes of the state after every
 	// matrix-vector step and of every applied operation matrix (used for
 	// the Fig. 5 style size traces). Costs O(size) per step.
 	RecordTrace bool
-	// Deadline aborts the run with ErrDeadlineExceeded once the wall
-	// clock passes it (checked between multiplications). The zero value
-	// means no deadline. This mirrors the paper's 2-CPU-hour timeout for
-	// the t_sota columns.
+	// Deadline aborts the run once the wall clock passes it (probed both
+	// between multiplications and inside them). The zero value means no
+	// deadline. This mirrors the paper's 2-CPU-hour timeout for the
+	// t_sota columns. The run then returns a *RunError wrapping
+	// ErrDeadlineExceeded.
 	Deadline time.Time
+	// MaxNodes arms the engine's live-node budget: when unique-table
+	// occupancy exceeds it mid-operation, the operation aborts. Unless
+	// DisableFallback is set, a combination strategy then degrades to
+	// sequential replay of the affected gate run (recorded in
+	// Result.Fallbacks and the trace); if the budget cannot be met even
+	// sequentially, the run returns a *RunError wrapping
+	// ErrBudgetExceeded. Zero means unlimited.
+	MaxNodes int
+	// DisableFallback turns off graceful strategy degradation: a budget
+	// abort fails the run immediately instead of replaying the gate run
+	// sequentially.
+	DisableFallback bool
+	// StartGate resumes a run at this gate index: gates before it are
+	// assumed to be reflected in InitialState (see Checkpoint). Zero
+	// starts from the beginning.
+	StartGate int
 	// InitialState overrides the |0…0> start state.
 	InitialState *dd.VEdge
 	// Engine re-uses an existing engine (otherwise a fresh one is
 	// created per run).
 	Engine *dd.Engine
+	// OnCheckpoint, when set, receives resume checkpoints: periodically
+	// every CheckpointEvery applied gates, and always before Run returns
+	// an abort error. The callback must serialise the checkpoint before
+	// returning (its State belongs to the running engine); an error from
+	// the callback fails the run.
+	OnCheckpoint func(*Checkpoint) error
+	// CheckpointEvery is the minimum number of applied gates between
+	// periodic checkpoints (0 = checkpoint only on abort).
+	CheckpointEvery int
+	// Seed is recorded in checkpoints so resumed runs can reproduce
+	// downstream sampling. It does not influence the simulation itself.
+	Seed int64
 }
 
 const defaultGCThreshold = 200_000
 
-// ErrDeadlineExceeded reports that a simulation hit Options.Deadline.
-var ErrDeadlineExceeded = errors.New("core: simulation deadline exceeded")
+// Sentinel errors wrapped by *RunError; match with errors.Is.
+var (
+	// ErrDeadlineExceeded reports that a simulation hit Options.Deadline.
+	ErrDeadlineExceeded = errors.New("core: simulation deadline exceeded")
+	// ErrBudgetExceeded reports that a simulation could not stay under
+	// Options.MaxNodes (even after fallback, unless fallback was
+	// disabled).
+	ErrBudgetExceeded = errors.New("core: simulation node budget exceeded")
+	// ErrCanceled reports that the RunContext context was canceled.
+	ErrCanceled = errors.New("core: simulation canceled")
+	// ErrInjectedAbort reports a synthetic fault-injection abort.
+	ErrInjectedAbort = errors.New("core: injected abort")
+)
+
+// FailureKind classifies a *RunError.
+type FailureKind uint8
+
+const (
+	// FailureDeadline: Options.Deadline expired.
+	FailureDeadline FailureKind = iota + 1
+	// FailureCanceled: the context passed to RunContext was canceled.
+	FailureCanceled
+	// FailureBudget: Options.MaxNodes was exceeded without recourse.
+	FailureBudget
+	// FailureInjected: a fault-injection abort (chaos testing).
+	FailureInjected
+	// FailurePanic: a panic escaped the engine (or a strategy callback)
+	// and was recovered into a typed error.
+	FailurePanic
+)
+
+// String returns the kind's short name (also used for CLI exit-status
+// mapping and bench CSV marks).
+func (k FailureKind) String() string {
+	switch k {
+	case FailureDeadline:
+		return "deadline"
+	case FailureCanceled:
+		return "canceled"
+	case FailureBudget:
+		return "budget"
+	case FailureInjected:
+		return "injected"
+	case FailurePanic:
+		return "panic"
+	}
+	return fmt.Sprintf("FailureKind(%d)", uint8(k))
+}
+
+// RunError is the typed error a simulation returns when it aborts (by
+// deadline, cancellation, node budget or fault injection) or when a
+// panic is recovered from the engine. Runs that return a *RunError also
+// return a partial *Result carrying the last consistent state and the
+// progress counters for reporting.
+type RunError struct {
+	Kind FailureKind
+	// GateIndex is the gate being processed when the run stopped.
+	GateIndex int
+	// Err is the matching sentinel (ErrDeadlineExceeded, ErrCanceled,
+	// ErrBudgetExceeded, ErrInjectedAbort) or, for FailurePanic, an
+	// error describing the recovered panic.
+	Err error
+	// Cause carries underlying detail where available (e.g. the
+	// context's error for FailureCanceled, or the engine's abort error).
+	Cause error
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("core: run aborted (%s) at gate %d: %v", e.Kind, e.GateIndex, e.Err)
+}
+
+// Unwrap exposes the sentinel and the cause for errors.Is / errors.As.
+func (e *RunError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{e.Err, e.Cause}
+	}
+	return []error{e.Err}
+}
 
 // TracePoint is one recorded simulation step.
 type TracePoint struct {
@@ -160,6 +275,7 @@ type TracePoint struct {
 	FromBlock  bool
 	BlockName  string
 	BlockReuse bool // true when the matrix was re-used, not re-built
+	Fallback   bool // step replayed sequentially after a budget abort
 }
 
 // Result is the outcome of a simulation run.
@@ -172,12 +288,31 @@ type Result struct {
 	// counts of this run (not cumulated across engine re-use).
 	MatVecSteps int
 	MatMatSteps int
-	Trace       []TracePoint
+	// GatesApplied is the gate index through which State reflects the
+	// circuit (equals len(c.Gates) on success; less after an abort).
+	GatesApplied int
+	// Fallbacks counts budget aborts that degraded to sequential replay.
+	Fallbacks int
+	Trace     []TracePoint
 }
 
 // Run simulates circuit c from |0…0> (or Options.InitialState) and
-// returns the final state vector as a DD.
+// returns the final state vector as a DD. See RunContext for the
+// error/partial-result contract.
 func Run(c *circuit.Circuit, opt Options) (*Result, error) {
+	return RunContext(context.Background(), c, opt)
+}
+
+// RunContext simulates c under opt with cooperative cancellation: when
+// ctx is canceled the run aborts — including from inside a long
+// multiplication — and returns a *RunError wrapping ErrCanceled.
+//
+// Error contract: configuration errors (nil circuit, invalid options)
+// return (nil, err). Aborted runs — deadline, cancellation, budget,
+// injected fault, or a recovered engine panic — return a partial
+// *Result (last consistent state, progress counters, statistics)
+// together with a *RunError.
+func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, error) {
 	if c == nil {
 		return nil, errors.New("core: nil circuit")
 	}
@@ -189,6 +324,9 @@ func Run(c *circuit.Circuit, opt Options) (*Result, error) {
 	}
 	if opt.GCThreshold == 0 {
 		opt.GCThreshold = defaultGCThreshold
+	}
+	if opt.StartGate < 0 || opt.StartGate > len(c.Gates) {
+		return nil, fmt.Errorf("core: StartGate %d out of range for %d gates", opt.StartGate, len(c.Gates))
 	}
 	eng := opt.Engine
 	if eng == nil {
@@ -206,34 +344,56 @@ func Run(c *circuit.Circuit, opt Options) (*Result, error) {
 		}
 	}
 
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r := &runner{
-		eng:     eng,
-		c:       c,
-		opt:     opt,
-		v:       v,
-		next:    0,
-		stateSz: -1,
+		eng:      eng,
+		c:        c,
+		opt:      opt,
+		ctx:      ctx,
+		v:        v,
+		next:     opt.StartGate,
+		applied:  opt.StartGate,
+		lastCkpt: opt.StartGate,
+		stateSz:  -1,
 	}
-	if !opt.Deadline.IsZero() {
-		// Arm the engine-level deadline too: a single multiplication on
-		// huge diagrams can outlive many per-gate checks.
-		eng.SetDeadline(opt.Deadline)
-		defer eng.SetDeadline(time.Time{})
-	}
-	if err := r.runRecovering(); err != nil {
-		return nil, err
+	// Arm the engine-level abort layer too: a single multiplication on
+	// huge diagrams can outlive many per-gate checks.
+	eng.SetDeadline(opt.Deadline)
+	eng.SetBudget(opt.MaxNodes)
+	eng.SetContext(ctx)
+	defer func() {
+		eng.SetDeadline(time.Time{})
+		eng.SetBudget(0)
+		eng.SetContext(nil)
+	}()
+	err := r.runRecovering()
+	if err != nil && opt.OnCheckpoint != nil {
+		var re *RunError
+		if errors.As(err, &re) {
+			if cerr := opt.OnCheckpoint(r.checkpoint()); cerr != nil {
+				err = errors.Join(err, fmt.Errorf("core: abort checkpoint: %w", cerr))
+			}
+		}
 	}
 
 	statsAfter := eng.Stats()
-	return &Result{
-		State:       r.v,
-		Engine:      eng,
-		Stats:       statsAfter,
-		Duration:    time.Since(start),
-		MatVecSteps: int(statsAfter.MatVecMuls - statsBefore.MatVecMuls),
-		MatMatSteps: int(statsAfter.MatMatMuls - statsBefore.MatMatMuls),
-		Trace:       r.trace,
-	}, nil
+	res := &Result{
+		State:        r.v,
+		Engine:       eng,
+		Stats:        statsAfter,
+		Duration:     time.Since(start),
+		MatVecSteps:  int(statsAfter.MatVecMuls - statsBefore.MatVecMuls),
+		MatMatSteps:  int(statsAfter.MatMatMuls - statsBefore.MatMatMuls),
+		GatesApplied: r.applied,
+		Fallbacks:    r.fallbacks,
+		Trace:        r.trace,
+	}
+	if err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // runner holds the mutable state of one simulation.
@@ -241,32 +401,37 @@ type runner struct {
 	eng   *dd.Engine
 	c     *circuit.Circuit
 	opt   Options
+	ctx   context.Context
 	v     dd.VEdge
 	next  int // index of the next gate to absorb
 	trace []TracePoint
 
 	acc      dd.MEdge // accumulated operation matrix
 	accValid bool
+	accStart int // first gate index covered by acc
 	combined int
+	// applied is the gate index through which v reflects the circuit.
+	applied int
 	// stateSz caches the state DD's node count between flushes (-1 =
 	// unknown); it only changes when an operation is applied.
 	stateSz int
+
+	fallbacks  int
+	inFallback bool
+	lastCkpt   int
 
 	// blockMat keeps combined block matrices alive across GC.
 	blockMats []dd.MEdge
 }
 
-// runRecovering runs the simulation, translating engine deadline
-// aborts (which surface as panics from deep inside a multiplication)
-// into ErrDeadlineExceeded.
+// runRecovering is the outermost backstop: any panic not already
+// converted by an op-level guard (e.g. from a strategy callback or a
+// size traversal) is recovered into a *RunError instead of crashing the
+// caller.
 func (r *runner) runRecovering() (err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			if dd.AbortedByDeadline(rec) {
-				err = ErrDeadlineExceeded
-				return
-			}
-			panic(rec)
+			err = r.errFromPanic(rec, r.next)
 		}
 	}()
 	return r.run()
@@ -275,27 +440,21 @@ func (r *runner) runRecovering() (err error) {
 func (r *runner) run() error {
 	blocks := r.blockIndex()
 	for r.next < len(r.c.Gates) {
-		if err := r.checkDeadline(); err != nil {
+		if err := r.checkAbort(); err != nil {
 			return err
 		}
 		if b, ok := blocks[r.next]; ok && r.opt.UseBlocks {
-			r.flush(r.next, false, "", false)
+			if err := r.flush(r.next); err != nil {
+				return err
+			}
 			if err := r.runBlock(b); err != nil {
 				return err
 			}
 			continue
 		}
-		g := r.c.Gates[r.next]
-		gd := r.eng.GateDD(g.Matrix, r.c.NQubits, g.Target, g.Controls)
-		if r.accValid {
-			r.acc = r.eng.MulMat(gd, r.acc)
-			r.combined++
-		} else {
-			r.acc = gd
-			r.accValid = true
-			r.combined = 1
+		if err := r.absorbNext(); err != nil {
+			return err
 		}
-		r.next++
 		opSz := -1
 		opSize := func() int {
 			if opSz < 0 {
@@ -309,30 +468,100 @@ func (r *runner) run() error {
 			}
 			return r.stateSz
 		}
-		if r.opt.Strategy.ShouldApply(r.combined, opSize, stateSize) {
-			r.flush(r.next, false, "", false)
+		if r.accValid && r.opt.Strategy.ShouldApply(r.combined, opSize, stateSize) {
+			if err := r.flush(r.next); err != nil {
+				return err
+			}
 		}
 		r.maybeGC()
+		if err := r.maybeCheckpoint(); err != nil {
+			return err
+		}
 	}
-	r.flush(r.next, false, "", false)
+	return r.flush(len(r.c.Gates))
+}
+
+// absorbNext multiplies the next gate onto the accumulated operation
+// matrix. A budget abort mid-product discards the accumulator and
+// degrades to sequential replay of the covered gate run.
+func (r *runner) absorbNext() error {
+	i := r.next
+	if !r.accValid {
+		r.accStart = i
+	}
+	err := r.guard(i, func() {
+		g := r.c.Gates[i]
+		gd := r.eng.GateDD(g.Matrix, r.c.NQubits, g.Target, g.Controls)
+		if r.accValid {
+			r.acc = r.eng.MulMat(gd, r.acc)
+			r.combined++
+		} else {
+			r.acc = gd
+			r.accValid = true
+			r.combined = 1
+		}
+	})
+	if err == nil {
+		r.next++
+		return nil
+	}
+	if ferr := r.tryFallback(err, r.accStart, i+1); ferr != nil {
+		return ferr
+	}
+	r.next = i + 1
 	return nil
 }
 
-// flush applies the accumulated matrix (if any) to the state.
-func (r *runner) flush(gateIndex int, fromBlock bool, blockName string, reuse bool) {
+// flush applies the accumulated matrix (if any) to the state,
+// degrading to sequential replay on a budget abort.
+func (r *runner) flush(gateIndex int) error {
 	if !r.accValid {
-		return
+		return nil
 	}
-	op := r.acc
-	combined := r.combined
+	op, combined := r.acc, r.combined
+	err := r.guard(gateIndex, func() {
+		r.applyOp(op, gateIndex, combined, false, "", false)
+	})
+	if err == nil {
+		r.accValid = false
+		r.combined = 0
+		return nil
+	}
+	return r.tryFallback(err, r.accStart, gateIndex)
+}
+
+// tryFallback is the graceful-degradation path: after a budget abort
+// covering gates [from, to), it discards the accumulated matrix,
+// collects garbage, and replays that gate run sequentially (one small
+// gate DD and one matrix-vector product at a time). Any abort during
+// the replay — including hitting the budget again — is final.
+func (r *runner) tryFallback(runErr *RunError, from, to int) error {
+	if runErr.Kind != FailureBudget || r.opt.DisableFallback || r.inFallback {
+		return runErr
+	}
 	r.accValid = false
 	r.combined = 0
-	r.applyOp(op, gateIndex, combined, fromBlock, blockName, reuse)
+	r.collect()
+	r.fallbacks++
+	r.inFallback = true
+	defer func() { r.inFallback = false }()
+	for i := from; i < to; i++ {
+		g := r.c.Gates[i]
+		if err := r.guard(i, func() {
+			gd := r.eng.GateDD(g.Matrix, r.c.NQubits, g.Target, g.Controls)
+			r.applyOp(gd, i+1, 1, false, "", false)
+		}); err != nil {
+			return err
+		}
+		r.maybeGC()
+	}
+	return nil
 }
 
 func (r *runner) applyOp(op dd.MEdge, gateIndex, combined int, fromBlock bool, blockName string, reuse bool) {
 	r.v = r.eng.MulVec(op, r.v)
 	r.stateSz = -1
+	r.applied = gateIndex
 	r.eng.NoteMatrixSize(r.eng.SizeM(op))
 	if r.opt.RecordTrace {
 		r.trace = append(r.trace, TracePoint{
@@ -343,6 +572,7 @@ func (r *runner) applyOp(op dd.MEdge, gateIndex, combined int, fromBlock bool, b
 			FromBlock:  fromBlock,
 			BlockName:  blockName,
 			BlockReuse: reuse,
+			Fallback:   r.inFallback,
 		})
 	}
 }
@@ -357,46 +587,167 @@ func (r *runner) blockIndex() map[int]circuit.Block {
 }
 
 // runBlock executes a repeated block DD-repeating style: combine the
-// body once, then apply the same matrix Repeat times.
+// body once, then apply the same matrix Repeat times. Budget aborts —
+// while combining or applying — degrade to sequential replay of the
+// block's remaining gates.
 func (r *runner) runBlock(b circuit.Block) error {
 	body := b.End - b.Start
-	mat, err := CombineGates(r.eng, r.c, b.Start, b.End)
+	end := b.Start + b.Repeat*body
+	var mat dd.MEdge
+	err := r.guard(b.Start, func() {
+		m, cerr := CombineGates(r.eng, r.c, b.Start, b.End)
+		if cerr != nil {
+			panic(cerr)
+		}
+		mat = m
+	})
 	if err != nil {
-		return err
+		if ferr := r.tryFallback(err, b.Start, end); ferr != nil {
+			return ferr
+		}
+		r.next = end
+		return nil
 	}
 	r.blockMats = append(r.blockMats, mat)
+	popBlockMat := func() { r.blockMats = r.blockMats[:len(r.blockMats)-1] }
 	for i := 0; i < b.Repeat; i++ {
-		if err := r.checkDeadline(); err != nil {
+		if err := r.checkAbort(); err != nil {
+			popBlockMat()
 			return err
 		}
-		end := b.Start + (i+1)*body
-		r.applyOp(mat, end, body, true, b.Name, i > 0)
+		upTo := b.Start + (i+1)*body
+		err := r.guard(upTo, func() {
+			r.applyOp(mat, upTo, body, true, b.Name, i > 0)
+		})
+		if err != nil {
+			popBlockMat()
+			if ferr := r.tryFallback(err, r.applied, end); ferr != nil {
+				return ferr
+			}
+			r.next = end
+			return nil
+		}
 		r.maybeGC()
+		if err := r.maybeCheckpoint(); err != nil {
+			popBlockMat()
+			return err
+		}
 	}
-	r.blockMats = r.blockMats[:len(r.blockMats)-1]
-	r.next = b.Start + b.Repeat*body
+	popBlockMat()
+	r.next = end
 	return nil
 }
 
-func (r *runner) checkDeadline() error {
+// guard runs f, recovering engine aborts and any other panic into a
+// typed *RunError anchored at gateIndex.
+func (r *runner) guard(gateIndex int, f func()) (rerr *RunError) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			rerr = r.errFromPanic(rec, gateIndex)
+		}
+	}()
+	f()
+	return nil
+}
+
+// errFromPanic converts a recovered panic value into a *RunError:
+// engine aborts keep their reason, everything else (mismatched-level
+// or validation panics from internal/dd, strategy callbacks, …)
+// becomes FailurePanic.
+func (r *runner) errFromPanic(rec any, gateIndex int) *RunError {
+	if a, ok := dd.AsAbort(rec); ok {
+		re := &RunError{GateIndex: gateIndex, Cause: a}
+		switch a.Reason {
+		case dd.AbortDeadline:
+			re.Kind, re.Err = FailureDeadline, ErrDeadlineExceeded
+		case dd.AbortCanceled:
+			re.Kind, re.Err = FailureCanceled, ErrCanceled
+		case dd.AbortBudget:
+			re.Kind, re.Err = FailureBudget, ErrBudgetExceeded
+		default:
+			re.Kind, re.Err = FailureInjected, ErrInjectedAbort
+		}
+		return re
+	}
+	if err, ok := rec.(error); ok {
+		return &RunError{Kind: FailurePanic, GateIndex: gateIndex, Err: fmt.Errorf("core: recovered panic: %w", err)}
+	}
+	return &RunError{Kind: FailurePanic, GateIndex: gateIndex, Err: fmt.Errorf("core: recovered panic: %v", rec)}
+}
+
+// checkAbort polls the between-operations abort sources (context and
+// deadline; the node budget is enforced inside the kernels).
+func (r *runner) checkAbort() error {
+	select {
+	case <-r.ctx.Done():
+		return &RunError{Kind: FailureCanceled, GateIndex: r.next, Err: ErrCanceled, Cause: r.ctx.Err()}
+	default:
+	}
 	if !r.opt.Deadline.IsZero() && time.Now().After(r.opt.Deadline) {
-		return ErrDeadlineExceeded
+		return &RunError{Kind: FailureDeadline, GateIndex: r.next, Err: ErrDeadlineExceeded}
 	}
 	return nil
 }
 
-func (r *runner) maybeGC() {
-	if r.opt.GCThreshold < 0 {
-		return
+// checkpoint snapshots the current consistent state for resume.
+func (r *runner) checkpoint() *Checkpoint {
+	return &Checkpoint{
+		CircuitName: r.c.Name,
+		NQubits:     r.c.NQubits,
+		NextGate:    r.applied,
+		Seed:        r.opt.Seed,
+		Fallbacks:   r.fallbacks,
+		State:       r.v,
 	}
-	if r.eng.VNodeCount()+r.eng.MNodeCount() <= r.opt.GCThreshold {
-		return
+}
+
+// maybeCheckpoint emits a periodic checkpoint once enough gates have
+// been applied since the last one.
+func (r *runner) maybeCheckpoint() error {
+	if r.opt.OnCheckpoint == nil || r.opt.CheckpointEvery <= 0 {
+		return nil
 	}
+	if r.applied-r.lastCkpt < r.opt.CheckpointEvery {
+		return nil
+	}
+	r.lastCkpt = r.applied
+	if err := r.opt.OnCheckpoint(r.checkpoint()); err != nil {
+		return fmt.Errorf("core: checkpoint at gate %d: %w", r.applied, err)
+	}
+	return nil
+}
+
+// gcThreshold couples the GC trigger to the node budget: with a budget
+// armed, collection must keep the live set comfortably below the cap or
+// every operation would abort on garbage.
+func (r *runner) gcThreshold() int {
+	th := r.opt.GCThreshold
+	if r.opt.MaxNodes > 0 {
+		if b := r.opt.MaxNodes * 3 / 4; th < 0 || b < th {
+			th = b
+		}
+	}
+	return th
+}
+
+// collect garbage-collects with the run's live roots.
+func (r *runner) collect() {
 	mroots := append([]dd.MEdge(nil), r.blockMats...)
 	if r.accValid {
 		mroots = append(mroots, r.acc)
 	}
 	r.eng.GarbageCollect([]dd.VEdge{r.v}, mroots)
+}
+
+func (r *runner) maybeGC() {
+	th := r.gcThreshold()
+	if th < 0 {
+		return
+	}
+	if r.eng.VNodeCount()+r.eng.MNodeCount() <= th {
+		return
+	}
+	r.collect()
 }
 
 // CombineGates multiplies gates [from, to) of c into a single operation

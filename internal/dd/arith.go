@@ -19,7 +19,7 @@ func (e *Engine) Add(a, b VEdge) VEdge {
 }
 
 func (e *Engine) addV(a, b VEdge) VEdge {
-	e.checkDeadline()
+	e.abortCheck()
 	e.stats.AddRecursions++
 	if a.IsZero() {
 		return b
@@ -79,7 +79,7 @@ func (e *Engine) AddM(a, b MEdge) MEdge {
 }
 
 func (e *Engine) addM(a, b MEdge) MEdge {
-	e.checkDeadline()
+	e.abortCheck()
 	e.stats.AddRecursions++
 	if a.IsZero() {
 		return b
@@ -134,7 +134,7 @@ func (e *Engine) MulVec(m MEdge, v VEdge) VEdge {
 }
 
 func (e *Engine) mulVec(m MEdge, v VEdge) VEdge {
-	e.checkDeadline()
+	e.abortCheck()
 	e.stats.MulRecursions++
 	if m.IsZero() || v.IsZero() {
 		return VZero()
@@ -176,7 +176,7 @@ func (e *Engine) MulMat(a, b MEdge) MEdge {
 }
 
 func (e *Engine) mulMat(a, b MEdge) MEdge {
-	e.checkDeadline()
+	e.abortCheck()
 	e.stats.MulRecursions++
 	if a.IsZero() || b.IsZero() {
 		return MZero()

@@ -1,0 +1,7 @@
+//go:build !ddchaos
+
+package dd
+
+// chaosBuild is off in regular builds; fault injection then requires
+// DD_CHAOS=1 in the environment (see chaosEnabled).
+const chaosBuild = false

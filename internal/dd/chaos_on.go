@@ -1,0 +1,8 @@
+//go:build ddchaos
+
+package dd
+
+// chaosBuild compiles fault injection in unconditionally (chaos CI job,
+// ad-hoc chaos benchmarking). Without the tag, DD_CHAOS=1 still enables
+// it per process; see chaosEnabled.
+const chaosBuild = true

@@ -1,7 +1,7 @@
 package dd
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -50,8 +50,16 @@ type Engine struct {
 	// ctlBuf is GateDD's per-qubit control scratch, reused across calls.
 	ctlBuf []ctlKind
 
-	deadline      time.Time
-	deadlineTicks uint32
+	// Cooperative abort layer (see abort.go). armed caches whether any
+	// source below is live so the kernel probes cost one branch when
+	// nothing is armed; probes counts probe invocations while armed.
+	deadline     time.Time
+	ctx          context.Context
+	budget       int
+	injectAt     uint64
+	injectReason AbortReason
+	probes       uint64
+	armed        bool
 
 	// epoch stamps node marks during SizeV/SizeM traversals and GC
 	// marking, so repeated traversals need no per-call visited set.
@@ -107,47 +115,6 @@ func (e *Engine) sizeM(n *MNode) int {
 	return s
 }
 
-// ErrDeadlineExceeded is the value carried by the panic an Engine
-// raises when a deadline set via SetDeadline expires mid-operation.
-// Use AbortedByDeadline to classify recovered panics.
-var ErrDeadlineExceeded = errors.New("dd: engine deadline exceeded")
-
-// deadlineError wraps ErrDeadlineExceeded so recover() handlers can
-// distinguish deadline aborts from genuine bugs.
-type deadlineError struct{}
-
-func (deadlineError) Error() string { return ErrDeadlineExceeded.Error() }
-
-// AbortedByDeadline reports whether a recovered panic value is an
-// engine deadline abort.
-func AbortedByDeadline(recovered any) bool {
-	_, ok := recovered.(deadlineError)
-	return ok
-}
-
-// SetDeadline arms a wall-clock deadline checked inside the arithmetic
-// recursions (every few thousand steps). When it expires, the running
-// operation panics with a value recognised by AbortedByDeadline;
-// callers recover it and surface an error. A zero time disarms the
-// deadline. The engine's tables remain consistent after an abort —
-// partially built nodes are already canonical.
-func (e *Engine) SetDeadline(t time.Time) { e.deadline = t }
-
-// checkDeadline is called from the hot recursion paths; the tick
-// counter keeps the time syscall off the common path.
-func (e *Engine) checkDeadline() {
-	if e.deadline.IsZero() {
-		return
-	}
-	e.deadlineTicks++
-	if e.deadlineTicks&0xfff != 0 {
-		return
-	}
-	if time.Now().After(e.deadline) {
-		panic(deadlineError{})
-	}
-}
-
 // CacheStats counts lookups and hits of one compute cache.
 type CacheStats struct {
 	Lookups uint64
@@ -187,6 +154,10 @@ type Stats struct {
 	GCs        uint64
 	GCPause    time.Duration // cumulative time spent inside GarbageCollect
 	GCMaxPause time.Duration // longest single collection
+
+	// Aborts counts cooperative aborts raised by the abort layer
+	// (deadline, cancellation, budget or fault injection; see abort.go).
+	Aborts uint64
 
 	PeakVNodes     int
 	PeakMNodes     int

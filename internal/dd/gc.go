@@ -17,6 +17,12 @@ import "time"
 // The core simulator calls this when live node counts exceed its
 // threshold; long runs would otherwise retain every intermediate state
 // ever built.
+//
+// Collection is abort-atomic: no abort probe (see abort.go) is taken
+// inside the mark or sweep phases, so a deadline, cancellation or
+// budget abort can never fire mid-collection and leave the unique
+// tables half-swept. After a recovered abort, a GarbageCollect with the
+// surviving roots reclaims whatever the interrupted operation built.
 func (e *Engine) GarbageCollect(vroots []VEdge, mroots []MEdge) {
 	start := time.Now()
 	e.stats.GCs++

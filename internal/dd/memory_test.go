@@ -53,6 +53,73 @@ func TestQuickGCCanonicity(t *testing.T) {
 	}
 }
 
+// Property: abort-anywhere safety. A fault-injected abort (rehearsing
+// the deadline / budget / cancellation reasons) at an arbitrary kernel
+// probe leaves the engine canonical: after a full collection, re-running
+// the same workload creates exactly the NodesCreated delta of a fresh
+// engine, rebuilds are pointer-identical, and the amplitudes match an
+// engine that never aborted.
+func TestQuickAbortCanonicity(t *testing.T) {
+	t.Setenv("DD_CHAOS", "1")
+	reasons := []AbortReason{AbortDeadline, AbortBudget, AbortCanceled, AbortInjected}
+	workload := func(e *Engine, seed int64, n int) VEdge {
+		v := stateFromSeed(e, seed, n)
+		g := e.GateDD(randUnitary(rand.New(rand.NewSource(seed+1))), n, int(seed&1), nil)
+		w := e.MulVec(g, v)
+		return e.Add(v, w)
+	}
+	f := func(seed int64, nRaw, probeRaw, reasonRaw uint8) bool {
+		n := int(nRaw)%4 + 2
+
+		// Reference: probe count and node delta of an abort-free run
+		// (armed with a budget it can never hit so probes advance).
+		ref := New()
+		ref.SetBudget(1 << 30)
+		refRoot := workload(ref, seed, n)
+		refDelta := ref.Stats().NodesCreated
+		total := ref.Probes()
+		if total == 0 {
+			return true
+		}
+		probeN := uint64(probeRaw)%total + 1
+		reason := reasons[int(reasonRaw)%len(reasons)]
+
+		e := New()
+		if !e.InjectAbortAfter(probeN, reason) {
+			t.Fatal("fault injection did not arm")
+		}
+		aborted := func() (ok bool) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					a, is := AsAbort(rec)
+					ok = is && a.Reason == reason
+				}
+			}()
+			workload(e, seed, n)
+			return false
+		}()
+		if !aborted {
+			return false
+		}
+
+		// Everything the aborted run built is garbage; collect it all.
+		e.GarbageCollect(nil, nil)
+		before := e.Stats().NodesCreated
+		got := workload(e, seed, n)
+		if e.Stats().NodesCreated-before != refDelta {
+			return false
+		}
+		// Canonicity: an immediate rebuild reuses every node.
+		if again := workload(e, seed, n); again.N != got.N {
+			return false
+		}
+		return vecApproxEq(got, refRoot)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestUniqueTableChurnFuzz hammers the unique tables with random
 // inserts and collections, checking the open-addressing invariants
 // (occupancy accounting, growth, tombstone reuse) and that every
