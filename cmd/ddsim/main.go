@@ -60,6 +60,11 @@ func main() {
 		optimize  = flag.Bool("optimize", false, "run the peephole optimiser before simulating")
 		stats     = flag.Bool("stats", false, "print engine statistics (cache hit rates, GC, memory layout)")
 
+		traceOut   = flag.String("trace-out", "", "write the structured event stream (one JSON object per step/GC/abort) to this file")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file (JSON, or Prometheus text if the path ends in .prom)")
+		progress   = flag.Bool("progress", false, "print throttled progress lines to stderr while simulating")
+		pprofDir   = flag.String("pprof", "", "write cpu.pprof and heap.pprof profiles into this directory")
+
 		timeout    = flag.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = none)")
 		maxNodes   = flag.Int("max-nodes", 0, "abort operations whose live DD nodes exceed this budget (0 = unlimited)")
 		noFallback = flag.Bool("no-fallback", false, "fail immediately on a node-budget abort instead of replaying the gate run sequentially")
@@ -105,12 +110,21 @@ func main() {
 	if *timeout > 0 {
 		baseOpt.Deadline = time.Now().Add(*timeout)
 	}
+	octl, err := setupObservability(*traceOut, *metricsOut, *progress, *pprofDir)
+	if err != nil {
+		fatal(err)
+	}
+	if octl != nil {
+		baseOpt.EventSink = octl.sink
+		baseOpt.Metrics = octl.registry
+	}
 
 	// OpenQASM programs containing measurements, resets or classical
 	// control run as dynamic circuits: one execution per shot, classical
 	// histogram reported.
 	if isQASM(text) && hasDynamicOps(text) {
 		runDynamic(text, baseOpt, *shots, *seed)
+		octl.finish()
 		return
 	}
 
@@ -159,6 +173,9 @@ func main() {
 
 	res, err := core.Run(c, runOpt)
 	if err != nil {
+		// The partial run's telemetry is the interesting part of an
+		// aborted run; flush it before reportFailure exits.
+		octl.finish()
 		reportFailure(res, c, err, *ckptPath)
 	}
 
@@ -221,6 +238,7 @@ func main() {
 		}
 		fmt.Printf("state DD written to %s\n", *dotOut)
 	}
+	octl.finish()
 }
 
 // parseAnyText auto-detects OpenQASM vs the native format.
@@ -381,8 +399,14 @@ func printEngineStats(e *dd.Engine) {
 	m := e.MemStats()
 	fmt.Println("engine statistics:")
 	cache := func(name string, c dd.CacheStats) {
-		fmt.Printf("  %-7s cache: %10d lookups  %10d hits  (%.1f%%)\n",
-			name, c.Lookups, c.Hits, 100*c.HitRate())
+		// A never-consulted cache has no hit rate; "0.0%" would read as
+		// a pathologically cold cache rather than an unused one.
+		rate := "-"
+		if c.Lookups > 0 {
+			rate = fmt.Sprintf("%.1f%%", 100*c.HitRate())
+		}
+		fmt.Printf("  %-7s cache: %10d lookups  %10d hits  (%s)\n",
+			name, c.Lookups, c.Hits, rate)
 	}
 	cache("add-v", s.AddV)
 	cache("add-m", s.AddM)

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// obsCtl bundles the observability outputs a run asked for on the
+// command line: the structured event stream (-trace-out, -progress),
+// the metrics registry (-metrics-out), and CPU/heap profiles (-pprof).
+// finish must run on every exit path that follows a simulation —
+// including aborted runs, whose partial telemetry is the interesting
+// part — before the process exits.
+type obsCtl struct {
+	sink     obs.Sink
+	registry *obs.Registry
+
+	jsonl      *obs.JSONL
+	jsonlFile  *os.File
+	metricsOut string
+	pprofDir   string
+	cpuFile    *os.File
+	finished   bool
+}
+
+// setupObservability opens the requested outputs and starts the CPU
+// profile. It returns nil when no observability flag was given, so the
+// simulation path stays exactly as before.
+func setupObservability(traceOut, metricsOut string, progress bool, pprofDir string) (*obsCtl, error) {
+	if traceOut == "" && metricsOut == "" && !progress && pprofDir == "" {
+		return nil, nil
+	}
+	ctl := &obsCtl{metricsOut: metricsOut, pprofDir: pprofDir}
+	var sinks obs.MultiSink
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, fmt.Errorf("ddsim: -trace-out: %w", err)
+		}
+		ctl.jsonlFile = f
+		ctl.jsonl = obs.NewJSONL(f)
+		sinks = append(sinks, ctl.jsonl)
+	}
+	if progress {
+		sinks = append(sinks, obs.NewProgress(os.Stderr, 500*time.Millisecond))
+	}
+	if len(sinks) > 0 {
+		ctl.sink = sinks
+	}
+	if metricsOut != "" {
+		ctl.registry = obs.NewRegistry()
+	}
+	if pprofDir != "" {
+		if err := os.MkdirAll(pprofDir, 0o755); err != nil {
+			return nil, fmt.Errorf("ddsim: -pprof: %w", err)
+		}
+		f, err := os.Create(filepath.Join(pprofDir, "cpu.pprof"))
+		if err != nil {
+			return nil, fmt.Errorf("ddsim: -pprof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ddsim: -pprof: %w", err)
+		}
+		ctl.cpuFile = f
+	}
+	return ctl, nil
+}
+
+// finish flushes the event stream, writes the metrics snapshot and
+// stops/writes the profiles. Errors are reported but do not change the
+// exit status — the simulation outcome is the primary result.
+func (c *obsCtl) finish() {
+	if c == nil || c.finished {
+		return
+	}
+	c.finished = true
+	if c.jsonl != nil {
+		if err := c.jsonl.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim: -trace-out:", err)
+		}
+		if err := c.jsonlFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim: -trace-out:", err)
+		}
+	}
+	if c.metricsOut != "" {
+		if err := writeMetricsFile(c.metricsOut, c.registry); err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim: -metrics-out:", err)
+		}
+	}
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := c.cpuFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim: -pprof:", err)
+		}
+		runtime.GC() // settle the heap so the profile reflects live data
+		hf, err := os.Create(filepath.Join(c.pprofDir, "heap.pprof"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim: -pprof:", err)
+			return
+		}
+		if err := pprof.WriteHeapProfile(hf); err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim: -pprof:", err)
+		}
+		if err := hf.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ddsim: -pprof:", err)
+		}
+	}
+}
+
+// writeMetricsFile writes the registry snapshot: Prometheus text
+// exposition when the path ends in .prom, JSON otherwise.
+func writeMetricsFile(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".prom") {
+		err = reg.WritePrometheus(f)
+	} else {
+		err = reg.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grover"
 	"repro/internal/hamiltonian"
+	"repro/internal/obs"
 	"repro/internal/shor"
 	"repro/internal/supremacy"
 )
@@ -43,6 +44,12 @@ type Config struct {
 	// Full selects the larger instances (several minutes of total
 	// runtime instead of tens of seconds).
 	Full bool
+	// Metrics, when non-nil, aggregates run telemetry from every measured
+	// run into one shared registry (see internal/obs).
+	Metrics *obs.Registry
+	// Events, when non-nil, additionally receives the structured event
+	// stream of every measured run.
+	Events obs.Sink
 }
 
 // DefaultConfig returns the quick configuration used by cmd/ddbench.
@@ -124,6 +131,10 @@ type Measurement struct {
 	TimedOut bool
 	OOM      bool // node budget exceeded (cfg.MaxNodes)
 	Err      error
+	// Cell carries the run's telemetry totals (Valid=false when the run
+	// died before emitting a run_end event). Aborted cells keep the
+	// partial run's counters.
+	Cell CellMetrics
 }
 
 // Mark classifies the measurement for table cells: "" for a clean run,
@@ -147,6 +158,20 @@ func (m Measurement) Mark() string {
 // that exceeds cfg.MaxNodes reports an OOM. Other failures are captured
 // in Err rather than propagated, so sweeps degrade per cell.
 func Time(w Workload, opt core.Options, cfg Config) Measurement {
+	// Harvest run totals from the run_end event; core emits it even for
+	// aborted runs, so timeout/oom cells still carry their counters.
+	cap := &runEndCapture{}
+	sinks := obs.MultiSink{cap}
+	if opt.EventSink != nil {
+		sinks = append(sinks, opt.EventSink)
+	}
+	if cfg.Events != nil {
+		sinks = append(sinks, cfg.Events)
+	}
+	opt.EventSink = sinks
+	if opt.Metrics == nil {
+		opt.Metrics = cfg.Metrics
+	}
 	best := math.Inf(1)
 	for i := 0; i < cfg.reps(); i++ {
 		if cfg.Budget > 0 {
@@ -164,18 +189,18 @@ func Time(w Workload, opt core.Options, cfg Config) Measurement {
 		if err != nil {
 			switch {
 			case isDeadline(err):
-				return Measurement{Seconds: cfg.Budget.Seconds(), TimedOut: true}
+				return Measurement{Seconds: cfg.Budget.Seconds(), TimedOut: true, Cell: cap.cell(cfg.Budget.Seconds())}
 			case errors.Is(err, core.ErrBudgetExceeded):
-				return Measurement{Seconds: elapsed, OOM: true, Err: err}
+				return Measurement{Seconds: elapsed, OOM: true, Err: err, Cell: cap.cell(elapsed)}
 			default:
-				return Measurement{Err: err}
+				return Measurement{Err: err, Cell: cap.cell(elapsed)}
 			}
 		}
 		if elapsed < best {
 			best = elapsed
 		}
 	}
-	return Measurement{Seconds: best}
+	return Measurement{Seconds: best, Cell: cap.cell(best)}
 }
 
 func isDeadline(err error) bool {

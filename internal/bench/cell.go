@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// CellMetrics is the per-cell observability snapshot an experiment
+// carries alongside its timing: the run totals harvested from the
+// run's closing run_end event (see internal/obs). Aborted cells
+// (timeout / oom) still carry the partial run's totals, which is
+// exactly what explains *why* the cell failed.
+type CellMetrics struct {
+	// Valid reports whether a run_end event was captured; runs that
+	// fail before the simulation starts (config errors) have none.
+	Valid   bool
+	Seconds float64
+
+	MatVecMuls   uint64
+	MatMatMuls   uint64
+	CacheLookups uint64
+	CacheHits    uint64
+	NodesCreated uint64
+
+	GCs            uint64
+	GCPauseSeconds float64
+
+	PeakNodes  int
+	Fallbacks  int
+	StateNodes int // final state DD size
+
+	// Abort is the failure kind of an aborted run ("" for clean runs).
+	Abort string
+}
+
+// CacheHitRate returns hits/lookups, NaN when the caches were never
+// consulted — renderers must show "-" or an empty cell, not 0%.
+func (c CellMetrics) CacheHitRate() float64 {
+	if c.CacheLookups == 0 {
+		return math.NaN()
+	}
+	return float64(c.CacheHits) / float64(c.CacheLookups)
+}
+
+// runEndCapture is the sink the harness attaches to every measured
+// run: it keeps the last run_end event (multi-run workloads such as
+// shor's semiclassical loop emit several; the final one carries the
+// totals of the run that produced the cell's outcome).
+type runEndCapture struct {
+	ev obs.Event
+	ok bool
+}
+
+func (s *runEndCapture) Emit(e obs.Event) {
+	if e.Kind == obs.KindRunEnd {
+		s.ev, s.ok = e, true
+	}
+}
+
+// cell converts the captured run_end into a CellMetrics.
+func (s *runEndCapture) cell(seconds float64) CellMetrics {
+	if !s.ok {
+		return CellMetrics{Seconds: seconds}
+	}
+	e := s.ev
+	return CellMetrics{
+		Valid:          true,
+		Seconds:        seconds,
+		MatVecMuls:     e.MatVecMuls,
+		MatMatMuls:     e.MatMatMuls,
+		CacheLookups:   e.CacheLookups,
+		CacheHits:      e.CacheHits,
+		NodesCreated:   e.NodesCreated,
+		GCs:            e.GCs,
+		GCPauseSeconds: float64(e.GCPauseNS) / 1e9,
+		PeakNodes:      e.PeakNodes,
+		Fallbacks:      e.Fallbacks,
+		StateNodes:     e.StateNodes,
+		Abort:          e.Abort,
+	}
+}
+
+// metricsCSVHeader is the long-format per-cell telemetry schema shared
+// by the sweep experiments.
+const metricsCSVHeader = "workload,param,seconds,mark," +
+	"matvec_muls,matmat_muls,cache_lookups,cache_hits,cache_hit_rate," +
+	"nodes_created,gcs,gc_pause_seconds,peak_nodes,fallbacks,state_nodes\n"
+
+func appendMetricsRow(sb *strings.Builder, workload, param, mark string, c CellMetrics) {
+	if !c.Valid {
+		return
+	}
+	rate := ""
+	if hr := c.CacheHitRate(); !math.IsNaN(hr) {
+		rate = fmt.Sprintf("%.4f", hr)
+	}
+	fmt.Fprintf(sb, "%s,%s,%s,%s,%d,%d,%d,%d,%s,%d,%d,%s,%d,%d,%d\n",
+		csvEscape(workload), csvEscape(param), csvFloat(c.Seconds), mark,
+		c.MatVecMuls, c.MatMatMuls, c.CacheLookups, c.CacheHits, rate,
+		c.NodesCreated, c.GCs, csvFloat(c.GCPauseSeconds),
+		c.PeakNodes, c.Fallbacks, c.StateNodes)
+}
+
+// MetricsCSV renders the sweep's per-cell telemetry in long format —
+// one row per measured cell, baseline rows first (param "baseline").
+// Returns "" for results recorded before cell metrics existed.
+func (r *SweepResult) MetricsCSV() string {
+	if r.Cells == nil && r.BaselineCells == nil {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(metricsCSVHeader)
+	for wi, name := range r.Names {
+		if wi < len(r.BaselineCells) {
+			appendMetricsRow(&sb, name, "baseline", r.baselineMark(wi), r.BaselineCells[wi])
+		}
+		if wi >= len(r.Cells) {
+			continue
+		}
+		for pi, p := range r.Params {
+			if pi < len(r.Cells[wi]) {
+				appendMetricsRow(&sb, name, fmt.Sprintf("%d", p), r.mark(wi, pi), r.Cells[wi][pi])
+			}
+		}
+	}
+	return sb.String()
+}

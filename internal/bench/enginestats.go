@@ -22,6 +22,8 @@ type EngineStatsRow struct {
 	NodesRecycled uint64
 	GCs           uint64
 	GCPause       time.Duration
+	PeakNodes     int
+	Fallbacks     int
 }
 
 // EngineStats runs a small workload mix under each strategy family with
@@ -44,7 +46,8 @@ func EngineStats(cfg Config) ([]EngineStatsRow, error) {
 	for _, w := range ws {
 		for _, st := range strategies {
 			e := dd.New()
-			opt := core.Options{Strategy: st, Engine: e}
+			cap := &runEndCapture{}
+			opt := core.Options{Strategy: st, Engine: e, EventSink: cap, Metrics: cfg.Metrics}
 			if cfg.Budget > 0 {
 				opt.Deadline = time.Now().Add(cfg.Budget)
 			}
@@ -70,6 +73,8 @@ func EngineStats(cfg Config) ([]EngineStatsRow, error) {
 				NodesRecycled: s.NodesRecycled,
 				GCs:           s.GCs,
 				GCPause:       s.GCPause,
+				PeakNodes:     s.PeakVNodes + s.PeakMNodes,
+				Fallbacks:     cap.cell(elapsed).Fallbacks,
 			})
 		}
 	}
@@ -81,14 +86,15 @@ func RenderEngineStats(rows []EngineStatsRow) string {
 	var sb strings.Builder
 	sb.WriteString("Engine statistics: per-cache hit rates and GC behaviour per workload and strategy\n")
 	sb.WriteString("(hit rate = cache hits / lookups; nodes = created/recycled; pauses summed over all collections)\n\n")
-	fmt.Fprintf(&sb, "%-18s %-18s %8s %8s %8s %8s %12s %12s %5s %10s\n",
+	fmt.Fprintf(&sb, "%-18s %-18s %8s %8s %8s %8s %12s %12s %5s %10s %9s %5s\n",
 		"Benchmark", "Strategy", "add-v", "add-m", "mul-mv", "mul-mm",
-		"created", "recycled", "GCs", "pause")
+		"created", "recycled", "GCs", "pause", "peak", "fb")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-18s %-18s %8s %8s %8s %8s %12d %12d %5d %10s\n",
+		fmt.Fprintf(&sb, "%-18s %-18s %8s %8s %8s %8s %12d %12d %5d %10s %9d %5d\n",
 			r.Workload, r.Strategy,
 			fmtRate(r.AddV), fmtRate(r.AddM), fmtRate(r.MulMV), fmtRate(r.MulMM),
-			r.NodesCreated, r.NodesRecycled, r.GCs, r.GCPause.Round(time.Microsecond))
+			r.NodesCreated, r.NodesRecycled, r.GCs, r.GCPause.Round(time.Microsecond),
+			r.PeakNodes, r.Fallbacks)
 	}
 	return sb.String()
 }
@@ -106,13 +112,14 @@ func EngineStatsCSV(rows []EngineStatsRow) string {
 	sb.WriteString("workload,strategy,seconds," +
 		"addv_lookups,addv_hits,addm_lookups,addm_hits," +
 		"mulmv_lookups,mulmv_hits,mulmm_lookups,mulmm_hits," +
-		"nodes_created,nodes_recycled,gcs,gc_pause_seconds\n")
+		"nodes_created,nodes_recycled,gcs,gc_pause_seconds,peak_nodes,fallbacks\n")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
+		fmt.Fprintf(&sb, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d\n",
 			csvEscape(r.Workload), csvEscape(r.Strategy), csvFloat(r.Seconds),
 			r.AddV.Lookups, r.AddV.Hits, r.AddM.Lookups, r.AddM.Hits,
 			r.MulMV.Lookups, r.MulMV.Hits, r.MulMM.Lookups, r.MulMM.Hits,
-			r.NodesCreated, r.NodesRecycled, r.GCs, csvFloat(r.GCPause.Seconds()))
+			r.NodesCreated, r.NodesRecycled, r.GCs, csvFloat(r.GCPause.Seconds()),
+			r.PeakNodes, r.Fallbacks)
 	}
 	return sb.String()
 }

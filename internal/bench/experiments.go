@@ -32,6 +32,11 @@ type SweepResult struct {
 	// Both may be nil on results built before marks existed.
 	Marks        [][]string
 	BaselineMark []string
+	// Cells and BaselineCells carry per-cell run telemetry (same layout
+	// as Speedups / Baseline); rendered by MetricsCSV. Nil on results
+	// built before cell metrics existed.
+	Cells         [][]CellMetrics
+	BaselineCells []CellMetrics
 }
 
 // mark returns the cell mark, tolerating results without mark data.
@@ -78,11 +83,14 @@ func sweep(cfg Config, title, param string, params []int, mk func(int) core.Stra
 			baseSec = math.NaN()
 		}
 		res.Baseline = append(res.Baseline, baseSec)
+		res.BaselineCells = append(res.BaselineCells, base.Cell)
 		row := make([]float64, len(params))
 		marks := make([]string, len(params))
+		cells := make([]CellMetrics, len(params))
 		for i, p := range params {
 			m := Time(w, core.Options{Strategy: mk(p)}, cfg)
 			marks[i] = m.Mark()
+			cells[i] = m.Cell
 			if m.Mark() != "" || base.Mark() != "" {
 				row[i] = math.NaN()
 			} else {
@@ -91,6 +99,7 @@ func sweep(cfg Config, title, param string, params []int, mk func(int) core.Stra
 		}
 		res.Speedups = append(res.Speedups, row)
 		res.Marks = append(res.Marks, marks)
+		res.Cells = append(res.Cells, cells)
 	}
 	res.Average = make([]float64, len(params))
 	for i := range params {

@@ -3,10 +3,12 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/circuit"
 	"repro/internal/dd"
@@ -126,8 +128,13 @@ func ReadCheckpoint(r io.Reader, e *dd.Engine) (*Checkpoint, error) {
 	return ck, nil
 }
 
-// SaveCheckpoint writes ck to path atomically (temp file + rename), so
-// a crash mid-write never clobbers an existing good checkpoint.
+// SaveCheckpoint writes ck to path atomically and durably: the data is
+// written to a temp file, fsynced, renamed over path, and the parent
+// directory is fsynced so the rename itself survives a crash. Without
+// the syncs a crash shortly after a "successful" save could surface a
+// zero-length or torn checkpoint — rename is atomic in the namespace
+// but says nothing about when file contents or the directory entry
+// reach stable storage.
 func SaveCheckpoint(path string, ck *Checkpoint) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, ".ckpt-*")
@@ -140,6 +147,11 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 		os.Remove(tmp)
 		return fmt.Errorf("core: writing checkpoint: %w", err)
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: syncing checkpoint: %w", err)
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("core: closing checkpoint: %w", err)
@@ -147,6 +159,21 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("core: installing checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+// Platforms whose directory handles reject Sync (it is optional in
+// POSIX) degrade to the pre-sync behaviour rather than failing saves.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("core: opening checkpoint dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("core: syncing checkpoint dir: %w", err)
 	}
 	return nil
 }

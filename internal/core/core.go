@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/dd"
+	"repro/internal/obs"
 )
 
 // Strategy decides when the accumulated operation matrix is applied to
@@ -182,6 +183,16 @@ type Options struct {
 	// Seed is recorded in checkpoints so resumed runs can reproduce
 	// downstream sampling. It does not influence the simulation itself.
 	Seed int64
+	// EventSink, when set, receives the run's structured event stream
+	// (run_start, one step per applied operation, fallback / gc /
+	// checkpoint / abort, run_end); see internal/obs. Like RecordTrace
+	// it costs O(state size) per applied step for the size traversals.
+	// The engine's observer slot is claimed for the duration of the run.
+	EventSink obs.Sink
+	// Metrics, when set, records run telemetry (step latencies,
+	// node-size distributions, multiplication / cache / GC counters)
+	// into the registry. Sharing one registry across runs aggregates.
+	Metrics *obs.Registry
 }
 
 const defaultGCThreshold = 200_000
@@ -347,16 +358,23 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ro := newRunObserver(opt, eng)
 	r := &runner{
 		eng:      eng,
 		c:        c,
 		opt:      opt,
 		ctx:      ctx,
+		obs:      ro,
 		v:        v,
 		next:     opt.StartGate,
 		applied:  opt.StartGate,
 		lastCkpt: opt.StartGate,
 		stateSz:  -1,
+	}
+	if ro != nil {
+		eng.SetObserver(ro)
+		defer eng.SetObserver(nil)
+		ro.runStart(c, opt.StartGate)
 	}
 	// Arm the engine-level abort layer too: a single multiplication on
 	// huge diagrams can outlive many per-gate checks.
@@ -374,6 +392,8 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 		if errors.As(err, &re) {
 			if cerr := opt.OnCheckpoint(r.checkpoint()); cerr != nil {
 				err = errors.Join(err, fmt.Errorf("core: abort checkpoint: %w", cerr))
+			} else if ro != nil {
+				ro.checkpointEv(r.applied)
 			}
 		}
 	}
@@ -388,7 +408,14 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 		MatMatSteps:  int(statsAfter.MatMatMuls - statsBefore.MatMatMuls),
 		GatesApplied: r.applied,
 		Fallbacks:    r.fallbacks,
-		Trace:        r.trace,
+	}
+	if ro != nil {
+		res.Trace = ro.trace
+		sz := r.stateSz
+		if sz < 0 {
+			sz = eng.SizeV(r.v)
+		}
+		ro.finish(r.applied, sz, r.fallbacks, err)
 	}
 	if err != nil {
 		return res, err
@@ -398,13 +425,15 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 
 // runner holds the mutable state of one simulation.
 type runner struct {
-	eng   *dd.Engine
-	c     *circuit.Circuit
-	opt   Options
-	ctx   context.Context
-	v     dd.VEdge
-	next  int // index of the next gate to absorb
-	trace []TracePoint
+	eng *dd.Engine
+	c   *circuit.Circuit
+	opt Options
+	ctx context.Context
+	// obs is the run's observability bridge (nil unless the run asked
+	// for events, metrics or a trace); it owns the TracePoint recording.
+	obs  *runObserver
+	v    dd.VEdge
+	next int // index of the next gate to absorb
 
 	acc      dd.MEdge // accumulated operation matrix
 	accValid bool
@@ -543,6 +572,9 @@ func (r *runner) tryFallback(runErr *RunError, from, to int) error {
 	r.combined = 0
 	r.collect()
 	r.fallbacks++
+	if r.obs != nil {
+		r.obs.fallback(runErr.GateIndex, to-from)
+	}
 	r.inFallback = true
 	defer func() { r.inFallback = false }()
 	for i := from; i < to; i++ {
@@ -559,22 +591,30 @@ func (r *runner) tryFallback(runErr *RunError, from, to int) error {
 }
 
 func (r *runner) applyOp(op dd.MEdge, gateIndex, combined int, fromBlock bool, blockName string, reuse bool) {
+	var start time.Time
+	if r.obs != nil {
+		start = time.Now()
+	}
 	r.v = r.eng.MulVec(op, r.v)
 	r.stateSz = -1
 	r.applied = gateIndex
-	r.eng.NoteMatrixSize(r.eng.SizeM(op))
-	if r.opt.RecordTrace {
-		r.trace = append(r.trace, TracePoint{
-			GateIndex:  gateIndex,
-			OpSize:     r.eng.SizeM(op),
-			StateSize:  r.eng.SizeV(r.v),
-			Combined:   combined,
-			FromBlock:  fromBlock,
-			BlockName:  blockName,
-			BlockReuse: reuse,
-			Fallback:   r.inFallback,
-		})
+	opSz := r.eng.SizeM(op)
+	r.eng.NoteMatrixSize(opSz)
+	if r.obs == nil {
+		return
 	}
+	r.stateSz = r.eng.SizeV(r.v)
+	r.obs.step(stepInfo{
+		gate:       gateIndex,
+		combined:   combined,
+		opNodes:    opSz,
+		stateNodes: r.stateSz,
+		wall:       time.Since(start),
+		fromBlock:  fromBlock,
+		block:      blockName,
+		reuse:      reuse,
+		fallback:   r.inFallback,
+	})
 }
 
 // blockIndex maps a block's start gate index to the block.
@@ -713,6 +753,9 @@ func (r *runner) maybeCheckpoint() error {
 	r.lastCkpt = r.applied
 	if err := r.opt.OnCheckpoint(r.checkpoint()); err != nil {
 		return fmt.Errorf("core: checkpoint at gate %d: %w", r.applied, err)
+	}
+	if r.obs != nil {
+		r.obs.checkpointEv(r.applied)
 	}
 	return nil
 }

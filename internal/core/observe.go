@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/dd"
+	"repro/internal/obs"
+)
+
+// runObserver bridges one simulation run to the obs layer: it emits
+// structured events into Options.EventSink, records telemetry into
+// Options.Metrics, collects the Result.Trace points, and receives the
+// engine's low-level callbacks (dd.EngineObserver) for GC and node
+// telemetry. It is nil — and completely free — unless the run asked
+// for any of the three.
+type runObserver struct {
+	sink   obs.Sink
+	met    *runMetrics
+	eng    *dd.Engine
+	record bool
+	trace  []TracePoint
+
+	seq     uint64
+	started time.Time
+	circuit string
+	total   int
+	applied int // gate index of the last emitted step
+
+	startStats dd.Stats // engine snapshot at run start (run totals)
+	prev       dd.Stats // snapshot at the previous step boundary (deltas)
+}
+
+// runMetrics holds the instruments a run updates. Names are stable API
+// (documented in DESIGN.md); re-registering on a shared registry
+// returns the same instruments, so sweeps aggregate across runs.
+type runMetrics struct {
+	steps, matvec, matmat    *obs.Counter
+	cacheLookups, cacheHits  *obs.Counter
+	cacheInvalidations       *obs.Counter
+	nodesCreated             *obs.Counter
+	gcs, fallbacks, aborts   *obs.Counter
+	checkpoints              *obs.Counter
+	liveNodes                *obs.Gauge
+	stepSeconds, gcPauseSecs *obs.Histogram
+	stateNodes, opNodes      *obs.Histogram
+}
+
+func newRunMetrics(r *obs.Registry) *runMetrics {
+	nodeBuckets := obs.ExponentialBuckets(1, 4, 12)
+	latBuckets := obs.ExponentialBuckets(1e-6, 4, 12)
+	gcBuckets := obs.ExponentialBuckets(1e-6, 4, 10)
+	return &runMetrics{
+		steps:              r.Counter("dd_steps_total", "Applied operations (top-level matrix-vector steps)."),
+		matvec:             r.Counter("dd_matvec_muls_total", "Top-level matrix-vector multiplications (Eq. 1 cost)."),
+		matmat:             r.Counter("dd_matmat_muls_total", "Top-level matrix-matrix multiplications (Eq. 2 cost)."),
+		cacheLookups:       r.Counter("dd_cache_lookups_total", "Compute-cache lookups across all four caches."),
+		cacheHits:          r.Counter("dd_cache_hits_total", "Compute-cache hits across all four caches."),
+		cacheInvalidations: r.Counter("dd_cache_invalidations_total", "Compute-cache invalidations (GC, aborts, explicit clears)."),
+		nodesCreated:       r.Counter("dd_nodes_created_total", "Fresh DD nodes interned into the unique tables."),
+		gcs:                r.Counter("dd_gc_total", "Engine garbage collections."),
+		fallbacks:          r.Counter("dd_fallbacks_total", "Budget aborts degraded to sequential replay."),
+		aborts:             r.Counter("dd_aborts_total", "Runs aborted (deadline, budget, cancellation, injection, panic)."),
+		checkpoints:        r.Counter("dd_checkpoints_total", "Checkpoints handed to the caller."),
+		liveNodes:          r.Gauge("dd_live_nodes", "Live nodes in the unique tables (vector + matrix)."),
+		stepSeconds:        r.Histogram("dd_step_seconds", "Wall time per applied operation.", latBuckets),
+		gcPauseSecs:        r.Histogram("dd_gc_pause_seconds", "Engine GC pause durations.", gcBuckets),
+		stateNodes:         r.Histogram("dd_state_nodes", "State DD size after each applied operation.", nodeBuckets),
+		opNodes:            r.Histogram("dd_op_nodes", "Operation DD size of each applied matrix.", nodeBuckets),
+	}
+}
+
+// newRunObserver returns nil when the run requests no observability at
+// all — the runner then skips every per-step size traversal and clock
+// read exactly as before.
+func newRunObserver(opt Options, eng *dd.Engine) *runObserver {
+	if opt.EventSink == nil && opt.Metrics == nil && !opt.RecordTrace {
+		return nil
+	}
+	o := &runObserver{sink: opt.EventSink, eng: eng, record: opt.RecordTrace}
+	if opt.Metrics != nil {
+		o.met = newRunMetrics(opt.Metrics)
+	}
+	return o
+}
+
+// emit stamps and delivers one event; a nil sink drops it.
+func (o *runObserver) emit(e obs.Event) {
+	if o.sink == nil {
+		return
+	}
+	o.seq++
+	e.Seq = o.seq
+	e.TimeUnixNano = time.Now().UnixNano()
+	e.VLive = o.eng.VNodeCount()
+	e.MLive = o.eng.MNodeCount()
+	o.sink.Emit(e)
+}
+
+func (o *runObserver) runStart(c *circuit.Circuit, startGate int) {
+	o.started = time.Now()
+	o.circuit = c.Name
+	o.total = len(c.Gates)
+	o.applied = startGate
+	o.startStats = o.eng.Stats()
+	o.prev = o.startStats
+	o.emit(obs.Event{Kind: obs.KindRunStart, Gate: startGate, Circuit: c.Name, TotalGates: o.total})
+}
+
+// stepInfo is what the runner knows about one applied operation.
+type stepInfo struct {
+	gate, combined      int
+	opNodes, stateNodes int
+	wall                time.Duration
+	fromBlock           bool
+	block               string
+	reuse               bool
+	fallback            bool
+}
+
+// step records one applied operation: trace point, metrics, and a
+// KindStep event carrying the engine-counter deltas since the previous
+// step (GC activity between steps is attributed to the following one).
+func (o *runObserver) step(si stepInfo) {
+	o.applied = si.gate
+	if o.record {
+		o.trace = append(o.trace, TracePoint{
+			GateIndex:  si.gate,
+			OpSize:     si.opNodes,
+			StateSize:  si.stateNodes,
+			Combined:   si.combined,
+			FromBlock:  si.fromBlock,
+			BlockName:  si.block,
+			BlockReuse: si.reuse,
+			Fallback:   si.fallback,
+		})
+	}
+	cur := o.eng.Stats()
+	d := obs.Event{
+		Kind:         obs.KindStep,
+		Gate:         si.gate,
+		WallNS:       si.wall.Nanoseconds(),
+		Combined:     si.combined,
+		OpNodes:      si.opNodes,
+		StateNodes:   si.stateNodes,
+		MatVecMuls:   cur.MatVecMuls - o.prev.MatVecMuls,
+		MatMatMuls:   cur.MatMatMuls - o.prev.MatMatMuls,
+		CacheLookups: cur.CacheLookups - o.prev.CacheLookups,
+		CacheHits:    cur.CacheHits - o.prev.CacheHits,
+		NodesCreated: cur.NodesCreated - o.prev.NodesCreated,
+		GCs:          cur.GCs - o.prev.GCs,
+		GCPauseNS:    (cur.GCPause - o.prev.GCPause).Nanoseconds(),
+		Fallback:     si.fallback,
+		FromBlock:    si.fromBlock,
+		Block:        si.block,
+		BlockReuse:   si.reuse,
+	}
+	o.prev = cur
+	if m := o.met; m != nil {
+		m.steps.Inc()
+		m.matvec.Add(d.MatVecMuls)
+		m.matmat.Add(d.MatMatMuls)
+		m.cacheLookups.Add(d.CacheLookups)
+		m.cacheHits.Add(d.CacheHits)
+		m.nodesCreated.Add(d.NodesCreated)
+		m.stepSeconds.Observe(si.wall.Seconds())
+		m.stateNodes.Observe(float64(si.stateNodes))
+		m.opNodes.Observe(float64(si.opNodes))
+		m.liveNodes.Set(int64(o.eng.VNodeCount() + o.eng.MNodeCount()))
+	}
+	o.emit(d)
+}
+
+func (o *runObserver) fallback(gate, gates int) {
+	if o.met != nil {
+		o.met.fallbacks.Inc()
+	}
+	o.emit(obs.Event{Kind: obs.KindFallback, Gate: gate, Combined: gates})
+}
+
+func (o *runObserver) checkpointEv(gate int) {
+	if o.met != nil {
+		o.met.checkpoints.Inc()
+	}
+	o.emit(obs.Event{Kind: obs.KindCheckpoint, Gate: gate})
+}
+
+// finish emits the abort event (for failed runs) and the closing
+// run_end event carrying the run totals.
+func (o *runObserver) finish(applied, stateNodes, fallbacks int, err error) {
+	abort := ""
+	var re *RunError
+	if errors.As(err, &re) {
+		abort = re.Kind.String()
+		if o.met != nil {
+			o.met.aborts.Inc()
+		}
+		o.emit(obs.Event{Kind: obs.KindAbort, Gate: re.GateIndex, Abort: abort})
+	}
+	cur := o.eng.Stats()
+	o.emit(obs.Event{
+		Kind:         obs.KindRunEnd,
+		Gate:         applied,
+		Circuit:      o.circuit,
+		TotalGates:   o.total,
+		WallNS:       time.Since(o.started).Nanoseconds(),
+		StateNodes:   stateNodes,
+		MatVecMuls:   cur.MatVecMuls - o.startStats.MatVecMuls,
+		MatMatMuls:   cur.MatMatMuls - o.startStats.MatMatMuls,
+		CacheLookups: cur.CacheLookups - o.startStats.CacheLookups,
+		CacheHits:    cur.CacheHits - o.startStats.CacheHits,
+		NodesCreated: cur.NodesCreated - o.startStats.NodesCreated,
+		GCs:          cur.GCs - o.startStats.GCs,
+		GCPauseNS:    (cur.GCPause - o.startStats.GCPause).Nanoseconds(),
+		PeakNodes:    cur.PeakVNodes + cur.PeakMNodes,
+		Fallbacks:    fallbacks,
+		Abort:        abort,
+	})
+}
+
+// --- dd.EngineObserver ---------------------------------------------------
+
+// ObserveNode tracks the live-node gauge; it runs on the engine's node
+// interning path, so it is a single atomic store and nothing else.
+func (o *runObserver) ObserveNode(matrix bool, live int) {
+	if o.met != nil {
+		o.met.liveNodes.Set(int64(live))
+	}
+}
+
+// ObserveGC emits a KindGC event anchored at the gate being processed.
+func (o *runObserver) ObserveGC(gi dd.GCInfo) {
+	if o.met != nil {
+		o.met.gcs.Inc()
+		o.met.gcPauseSecs.Observe(gi.Pause.Seconds())
+		o.met.liveNodes.Set(int64(gi.VLive + gi.MLive))
+	}
+	o.emit(obs.Event{
+		Kind:      obs.KindGC,
+		Gate:      o.applied,
+		GCPauseNS: gi.Pause.Nanoseconds(),
+		GCFreed:   gi.Freed,
+	})
+}
+
+// ObserveCacheClear counts compute-cache invalidations.
+func (o *runObserver) ObserveCacheClear() {
+	if o.met != nil {
+		o.met.cacheInvalidations.Inc()
+	}
+}

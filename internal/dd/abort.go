@@ -111,6 +111,7 @@ func AbortedByDeadline(recovered any) bool {
 // and reusable after the abort.
 func (e *Engine) SetDeadline(t time.Time) {
 	e.deadline = t
+	e.deadlineSkip = 0
 	e.rearm()
 }
 
@@ -208,8 +209,40 @@ func (e *Engine) abortCheck() {
 			e.abort(AbortCanceled, err)
 		}
 	}
-	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
-		e.abort(AbortDeadline, ErrDeadlineExceeded)
+	// The deadline source caches a coarse clock tick: a time.Now() on
+	// every unmasked probe puts a clock read on the multiply hot path,
+	// which is measurable on deadline-bounded sweeps. After each real
+	// read the probe is allowed to skip a count sized from the time
+	// remaining, so distant deadlines cost a clock read only every few
+	// hundred thousand probes while enforcement tightens back to every
+	// masked batch (256 probes) as the deadline approaches.
+	if !e.deadline.IsZero() {
+		if e.deadlineSkip > 0 {
+			e.deadlineSkip--
+			return
+		}
+		e.stats.DeadlineClockReads++
+		now := time.Now()
+		if now.After(e.deadline) {
+			e.abort(AbortDeadline, ErrDeadlineExceeded)
+		}
+		e.deadlineSkip = deadlineSkipFor(e.deadline.Sub(now))
+	}
+}
+
+// deadlineSkipFor sizes the clock-read skip from the time remaining.
+// The resulting worst-case overshoot (skip × 256 probes × probe cost)
+// stays far below the bucket that allowed it.
+func deadlineSkipFor(remaining time.Duration) uint32 {
+	switch {
+	case remaining > time.Second:
+		return 255
+	case remaining > 100*time.Millisecond:
+		return 63
+	case remaining > 10*time.Millisecond:
+		return 7
+	default:
+		return 0
 	}
 }
 

@@ -211,3 +211,53 @@ func TestAbortMidMulLeavesEngineReusable(t *testing.T) {
 		}
 	}
 }
+
+func TestDeadlineProbeCachesClockReads(t *testing.T) {
+	e := New()
+	e.SetDeadline(time.Now().Add(time.Hour))
+	for i := 0; i < 1<<20; i++ {
+		e.abortCheck()
+	}
+	s := e.Stats()
+	unmasked := e.Probes() / (abortProbeMask + 1)
+	if s.DeadlineClockReads == 0 {
+		t.Fatal("deadline probe never read the clock")
+	}
+	// With over a second remaining the skip is 255, so reads stay near
+	// unmasked/256; the bound below leaves slack for boundary effects.
+	if max := unmasked/64 + 2; s.DeadlineClockReads > max {
+		t.Fatalf("DeadlineClockReads = %d over %d unmasked probes, want <= %d",
+			s.DeadlineClockReads, unmasked, max)
+	}
+	// Re-arming resets the skip, so an expired deadline still aborts on
+	// the first unmasked probe.
+	e.SetDeadline(time.Now().Add(-time.Millisecond))
+	ab := recoverAbort(func() {
+		for i := 0; i <= abortProbeMask+1; i++ {
+			e.abortCheck()
+		}
+	})
+	if ab == nil || ab.Reason != AbortDeadline {
+		t.Fatalf("expired deadline after re-arm did not abort: %v", ab)
+	}
+	e.SetDeadline(time.Time{})
+}
+
+func TestDeadlineSkipTightensNearDeadline(t *testing.T) {
+	cases := []struct {
+		remaining time.Duration
+		want      uint32
+	}{
+		{time.Hour, 255},
+		{2 * time.Second, 255},
+		{500 * time.Millisecond, 63},
+		{50 * time.Millisecond, 7},
+		{5 * time.Millisecond, 0},
+		{-time.Second, 0},
+	}
+	for _, c := range cases {
+		if got := deadlineSkipFor(c.remaining); got != c.want {
+			t.Errorf("deadlineSkipFor(%v) = %d, want %d", c.remaining, got, c.want)
+		}
+	}
+}

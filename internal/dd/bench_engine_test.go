@@ -3,6 +3,7 @@ package dd
 import (
 	"math/rand"
 	"testing"
+	"time"
 )
 
 // The engine microbenchmarks below exercise the memory layer on paths
@@ -75,5 +76,34 @@ func BenchmarkGC(b *testing.B) {
 			e.FromVector(s)
 		}
 		e.GarbageCollect([]VEdge{live}, nil)
+	}
+}
+
+// BenchmarkMulVecDeadline is BenchmarkMulVec with a distant wall-clock
+// deadline armed, so the abort probes run their unmasked path. The
+// clock-read skip cache in abortCheck must keep the overhead small and
+// the hot path at 0 allocs/op (CI greps the benchmark output for it).
+func BenchmarkMulVecDeadline(b *testing.B) {
+	e := New()
+	e.SetDeadline(time.Now().Add(time.Hour))
+	const n = 12
+	rng := rand.New(rand.NewSource(42))
+	gates := make([]MEdge, 64)
+	for i := range gates {
+		tgt := rng.Intn(n)
+		var controls []Control
+		if c := rng.Intn(n); c != tgt {
+			controls = append(controls, Control{Qubit: c, Negative: rng.Intn(2) == 0})
+		}
+		gates[i] = e.GateDD(randUnitary(rng), n, tgt, controls)
+	}
+	v := e.ZeroState(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v = e.MulVec(gates[i&63], v)
+		if e.VNodeCount()+e.MNodeCount() > 150_000 {
+			e.GarbageCollect([]VEdge{v}, gates)
+		}
 	}
 }

@@ -61,9 +61,17 @@ type Engine struct {
 	probes       uint64
 	armed        bool
 
+	// deadlineSkip is the number of unmasked probes the deadline source
+	// may skip before re-reading the clock; see abortCheck.
+	deadlineSkip uint32
+
 	// epoch stamps node marks during SizeV/SizeM traversals and GC
 	// marking, so repeated traversals need no per-call visited set.
 	epoch uint32
+
+	// obs, when non-nil, receives instrumentation callbacks; see
+	// instrument.go. Hot paths guard every call with a nil check.
+	obs EngineObserver
 
 	stats Stats
 }
@@ -158,6 +166,10 @@ type Stats struct {
 	// Aborts counts cooperative aborts raised by the abort layer
 	// (deadline, cancellation, budget or fault injection; see abort.go).
 	Aborts uint64
+	// DeadlineClockReads counts actual clock reads by the deadline
+	// probe — far fewer than probes/256 thanks to the skip cache in
+	// abortCheck; tests pin the ratio.
+	DeadlineClockReads uint64
 
 	PeakVNodes     int
 	PeakMNodes     int
@@ -343,6 +355,9 @@ func (e *Engine) makeVNode(v int32, e0, e1 VEdge) VEdge {
 	if e.vUnique.live > e.stats.PeakVNodes {
 		e.stats.PeakVNodes = e.vUnique.live
 	}
+	if e.obs != nil {
+		e.obs.ObserveNode(false, e.vUnique.live+e.mUnique.live)
+	}
 	return VEdge{W: top, N: n}
 }
 
@@ -385,6 +400,9 @@ func (e *Engine) makeMNode(v int32, es [4]MEdge) MEdge {
 	e.mUnique.insertAt(slot, n)
 	if e.mUnique.live > e.stats.PeakMNodes {
 		e.stats.PeakMNodes = e.mUnique.live
+	}
+	if e.obs != nil {
+		e.obs.ObserveNode(true, e.vUnique.live+e.mUnique.live)
 	}
 	return MEdge{W: top, N: n}
 }
@@ -502,6 +520,9 @@ func (e *Engine) clearCaches() {
 		e.cacheGen = 0
 	}
 	e.cacheGen++
+	if e.obs != nil {
+		e.obs.ObserveCacheClear()
+	}
 }
 
 // bumpProjGen starts a fresh projection memo generation (per-Project

@@ -51,6 +51,10 @@ func (e *Engine) GarbageCollect(vroots []VEdge, mroots []MEdge) {
 	if pause > e.stats.GCMaxPause {
 		e.stats.GCMaxPause = pause
 	}
+	if e.obs != nil {
+		e.obs.ObserveGC(GCInfo{Pause: pause, Freed: freed,
+			VLive: e.vUnique.live, MLive: e.mUnique.live})
+	}
 }
 
 // markV stamps every node reachable from n with the current epoch.

@@ -1,0 +1,41 @@
+package dd
+
+import "time"
+
+// EngineObserver receives low-level instrumentation callbacks from the
+// engine. All methods are invoked synchronously from the engine's own
+// goroutine, so implementations must be cheap and must not call back
+// into the engine. The default nil observer keeps the hot paths at a
+// single predictable branch and zero allocations (enforced by the
+// MulVec benchmark's allocs/op report).
+//
+// The interface deliberately lives in this package instead of
+// depending on internal/obs: the engine stays leaf-level, and
+// internal/core bridges these callbacks into the event stream and
+// metrics registry.
+type EngineObserver interface {
+	// ObserveNode fires after a fresh node is interned into a unique
+	// table (hash-cons hits on existing nodes do not fire). matrix
+	// distinguishes matrix from vector nodes; live is the combined
+	// unique-table occupancy after the insertion.
+	ObserveNode(matrix bool, live int)
+	// ObserveGC fires at the end of every GarbageCollect.
+	ObserveGC(GCInfo)
+	// ObserveCacheClear fires whenever the compute caches are
+	// invalidated (after GC, after recovered aborts, and on explicit
+	// clears).
+	ObserveCacheClear()
+}
+
+// GCInfo describes one completed garbage collection.
+type GCInfo struct {
+	Pause time.Duration
+	Freed int // nodes returned to the arena free lists
+	VLive int // vector nodes surviving the sweep
+	MLive int // matrix nodes surviving the sweep
+}
+
+// SetObserver attaches o to the engine; nil detaches. Only one
+// observer can be attached at a time — internal/core installs its run
+// observer for the duration of a run and detaches it afterwards.
+func (e *Engine) SetObserver(o EngineObserver) { e.obs = o }

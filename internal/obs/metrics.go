@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer metric that can go up and down (live node
+// counts, queue depths).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add shifts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus
+// semantics: bucket i counts observations <= bounds[i], with an
+// implicit final +Inf bucket. Bounds are fixed at construction.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, excluding +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// ExponentialBuckets returns n upper bounds start, start*factor,
+// start*factor², … — the usual latency/size bucket ladder.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: invalid exponential bucket spec")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// --- Registry -----------------------------------------------------------
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type metric struct {
+	name, help string
+	kind       metricKind
+	c          *Counter
+	g          *Gauge
+	h          *Histogram
+}
+
+// Registry holds a named, ordered set of metrics. Registration is
+// idempotent: asking twice for the same name (with the same kind)
+// returns the same instrument. Snapshots serialise as JSON and as
+// Prometheus text exposition format.
+type Registry struct {
+	mu      sync.Mutex
+	ordered []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+func (r *Registry) lookup(name, help string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	r.ordered = append(r.ordered, m)
+	r.byName[name] = m
+	return m
+}
+
+// Counter returns the counter with the given name, creating it if new.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.lookup(name, help, kindCounter)
+	if m.c == nil {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge returns the gauge with the given name, creating it if new.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.lookup(name, help, kindGauge)
+	if m.g == nil {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram returns the histogram with the given name, creating it
+// with the given bucket bounds if new (bounds are ignored on reuse).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.lookup(name, help, kindHistogram)
+	if m.h == nil {
+		m.h = newHistogram(bounds)
+	}
+	return m.h
+}
+
+// BucketSnapshot is one cumulative histogram bucket. LE is the upper
+// bound formatted as Prometheus renders it ("+Inf" for the last).
+type BucketSnapshot struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// MetricSnapshot is the frozen state of one metric.
+type MetricSnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Type    string           `json:"type"`
+	Value   float64          `json:"value"`
+	Count   uint64           `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// Snapshot freezes every metric in registration order.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.ordered...)
+	r.mu.Unlock()
+	out := make([]MetricSnapshot, 0, len(metrics))
+	for _, m := range metrics {
+		s := MetricSnapshot{Name: m.name, Help: m.help, Type: m.kind.String()}
+		switch m.kind {
+		case kindCounter:
+			s.Value = float64(m.c.Value())
+		case kindGauge:
+			s.Value = float64(m.g.Value())
+		case kindHistogram:
+			s.Count = m.h.Count()
+			s.Sum = m.h.Sum()
+			cum := uint64(0)
+			for i := range m.h.counts {
+				cum += m.h.counts[i].Load()
+				le := "+Inf"
+				if i < len(m.h.bounds) {
+					le = formatLE(m.h.bounds[i])
+				}
+				s.Buckets = append(s.Buckets, BucketSnapshot{LE: le, Count: cum})
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func formatLE(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteJSON writes the snapshot as an indented JSON document
+// {"metrics": [...]}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Metrics []MetricSnapshot `json:"metrics"`
+	}{r.Snapshot()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Type); err != nil {
+			return err
+		}
+		var err error
+		switch s.Type {
+		case "histogram":
+			for _, b := range s.Buckets {
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, b.LE, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %s\n", s.Name, formatLE(s.Sum)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", s.Name, s.Count)
+		default:
+			_, err = fmt.Fprintf(w, "%s %s\n", s.Name, formatLE(s.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+// Package obs is the observability layer of the simulator: a
+// structured event stream with pluggable sinks, and a metrics registry
+// of counters, gauges and fixed-bucket histograms.
+//
+// The paper's entire argument is a cost model — DD node counts and
+// cache behaviour, not matrix dimension, decide whether combining
+// gates beats gate-at-a-time application — so the quantities that
+// matter are per-step trajectories, not end-of-run aggregates. The
+// runner (internal/core) emits one Event per applied operation
+// carrying wall time, top-level multiplication counts, live node
+// counts and cache/GC deltas; sinks consume them as an in-memory ring
+// (Ring), a JSONL file (JSONL), or a human-readable progress feed
+// (Progress). The Registry snapshots as JSON and as Prometheus text
+// exposition for scraping.
+//
+// The package depends only on the standard library and knows nothing
+// about the DD engine: internal/core bridges engine callbacks
+// (dd.EngineObserver) into events and metrics, so the engine's
+// uninstrumented hot path stays a single nil-check branch.
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind classifies an Event.
+type Kind uint8
+
+const (
+	// KindRunStart opens a run: circuit name, total gates, start gate.
+	KindRunStart Kind = iota + 1
+	// KindStep is one applied operation (matrix-vector application),
+	// including sequential replays during a budget fallback.
+	KindStep
+	// KindFallback marks a budget abort degrading to sequential replay.
+	KindFallback
+	// KindGC is one completed engine garbage collection.
+	KindGC
+	// KindCheckpoint marks a checkpoint handed to the caller.
+	KindCheckpoint
+	// KindAbort marks a run abort (deadline, budget, cancellation,
+	// injected fault, recovered panic); Event.Abort carries the kind.
+	KindAbort
+	// KindRunEnd closes a run and carries the run totals.
+	KindRunEnd
+)
+
+var kindNames = [...]string{
+	KindRunStart:   "run_start",
+	KindStep:       "step",
+	KindFallback:   "fallback",
+	KindGC:         "gc",
+	KindCheckpoint: "checkpoint",
+	KindAbort:      "abort",
+	KindRunEnd:     "run_end",
+}
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind as its wire name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a wire name back into a Kind.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return fmt.Errorf("obs: invalid event kind %s", s)
+	}
+	s = s[1 : len(s)-1]
+	for i, n := range kindNames {
+		if n == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// Event is one structured observation of a simulation run. Fields not
+// meaningful for a kind are zero and omitted from JSON. Counter-like
+// fields (multiplications, cache traffic, GC activity) are deltas over
+// the step on KindStep events and run totals on KindRunEnd.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	Kind Kind   `json:"kind"`
+	// TimeUnixNano is the wall-clock emission time.
+	TimeUnixNano int64 `json:"time_unix_ns"`
+	// Gate is the gate index one past the last gate reflected in the
+	// state at emission time.
+	Gate int `json:"gate"`
+
+	// Circuit and TotalGates identify the run (run_start / run_end).
+	Circuit    string `json:"circuit,omitempty"`
+	TotalGates int    `json:"total_gates,omitempty"`
+
+	// WallNS is the duration of the step (KindStep) or of the whole
+	// run (KindRunEnd), in nanoseconds.
+	WallNS int64 `json:"wall_ns,omitempty"`
+	// Combined is the number of gates folded into the applied
+	// operation matrix (KindStep), or the number of gates a fallback
+	// will replay (KindFallback).
+	Combined int `json:"combined,omitempty"`
+	// OpNodes and StateNodes are the DD sizes of the applied operation
+	// matrix and of the state after the step.
+	OpNodes    int `json:"op_nodes,omitempty"`
+	StateNodes int `json:"state_nodes,omitempty"`
+	// VLive and MLive are the live unique-table node counts at
+	// emission time.
+	VLive int `json:"v_live,omitempty"`
+	MLive int `json:"m_live,omitempty"`
+
+	// Top-level multiplication counts (the paper's Eq. 1 vs Eq. 2
+	// trade) and engine cache/allocation/GC activity.
+	MatVecMuls   uint64 `json:"matvec_muls,omitempty"`
+	MatMatMuls   uint64 `json:"matmat_muls,omitempty"`
+	CacheLookups uint64 `json:"cache_lookups,omitempty"`
+	CacheHits    uint64 `json:"cache_hits,omitempty"`
+	NodesCreated uint64 `json:"nodes_created,omitempty"`
+	GCs          uint64 `json:"gcs,omitempty"`
+	GCPauseNS    int64  `json:"gc_pause_ns,omitempty"`
+	// GCFreed is the number of nodes reclaimed (KindGC only).
+	GCFreed int `json:"gc_freed,omitempty"`
+
+	// PeakNodes and Fallbacks are run totals (KindRunEnd).
+	PeakNodes int `json:"peak_nodes,omitempty"`
+	Fallbacks int `json:"fallbacks,omitempty"`
+
+	// Fallback marks a step replayed sequentially after a budget abort.
+	Fallback bool `json:"fallback,omitempty"`
+	// Block metadata for DD-repeating steps.
+	FromBlock  bool   `json:"from_block,omitempty"`
+	Block      string `json:"block,omitempty"`
+	BlockReuse bool   `json:"block_reuse,omitempty"`
+
+	// Abort is the failure kind ("deadline", "budget", "canceled",
+	// "injected", "panic") on KindAbort and on the KindRunEnd of an
+	// aborted run; empty on clean runs.
+	Abort string `json:"abort,omitempty"`
+}
+
+// Time returns the emission time as a time.Time.
+func (e Event) Time() time.Time { return time.Unix(0, e.TimeUnixNano) }
+
+// Wall returns the step/run duration.
+func (e Event) Wall() time.Duration { return time.Duration(e.WallNS) }

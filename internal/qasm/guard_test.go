@@ -1,0 +1,50 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestRegisterSizeCapped(t *testing.T) {
+	for _, src := range []string{
+		"OPENQASM 2.0; qreg q[999999999];",
+		"OPENQASM 2.0; qreg q[1]; creg c[999999999];",
+	} {
+		if _, err := ParseString(src); err == nil || !strings.Contains(err.Error(), "limit") {
+			t.Errorf("ParseString(%q) err = %v, want register-limit error", src, err)
+		}
+	}
+	if _, err := ParseString("OPENQASM 2.0; qreg q[4096];"); err != nil {
+		t.Errorf("register at the limit rejected: %v", err)
+	}
+}
+
+func TestGateExpansionCapped(t *testing.T) {
+	// Each definition invokes the previous one four times, so eleven
+	// levels expand to 4^11 ≈ 4M leaf gates — past the cap from under a
+	// kilobyte of source.
+	var sb strings.Builder
+	sb.WriteString("OPENQASM 2.0;\nqreg q[1];\ngate g0 a { h a; }\n")
+	for i := 1; i <= 11; i++ {
+		fmt.Fprintf(&sb, "gate g%d a { %s}\n", i, strings.Repeat(fmt.Sprintf("g%d a; ", i-1), 4))
+	}
+	sb.WriteString("g11 q[0];\n")
+	_, err := ParseString(sb.String())
+	if err == nil || !strings.Contains(err.Error(), "expands") {
+		t.Fatalf("err = %v, want expansion-cap error", err)
+	}
+}
+
+func TestExportRejectsNonFiniteParams(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		c := circuit.New(1)
+		c.RZ(bad, 0)
+		if _, err := ExportString(c); err == nil {
+			t.Errorf("ExportString with param %v succeeded, want error", bad)
+		}
+	}
+}

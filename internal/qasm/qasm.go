@@ -47,6 +47,12 @@ type appStmt struct {
 	args   []string // formal names inside bodies
 }
 
+// maxRegSize bounds a single register declaration. A DD engine handles
+// far fewer qubits than this in practice; the cap exists so a malformed
+// or hostile `qreg q[999999999]` fails with a parse error instead of an
+// enormous allocation.
+const maxRegSize = 4096
+
 type parser struct {
 	qregs   map[string]reg
 	qorder  []string
@@ -81,6 +87,9 @@ func ParseString(src string) (*Program, error) {
 	// First pass: find total qubit count (qreg declarations).
 	for _, s := range stmts {
 		if name, size, ok := parseRegDecl(s, "qreg"); ok {
+			if size > maxRegSize {
+				return nil, fmt.Errorf("qasm: qreg %q has %d qubits (limit %d)", name, size, maxRegSize)
+			}
 			if _, dup := p.qregs[name]; dup {
 				return nil, fmt.Errorf("qasm: duplicate qreg %q", name)
 			}
@@ -89,6 +98,9 @@ func ParseString(src string) (*Program, error) {
 			p.nqubits += size
 		}
 		if name, size, ok := parseRegDecl(s, "creg"); ok {
+			if size > maxRegSize {
+				return nil, fmt.Errorf("qasm: creg %q has %d bits (limit %d)", name, size, maxRegSize)
+			}
 			if _, dup := p.cregs[name]; dup {
 				return nil, fmt.Errorf("qasm: duplicate creg %q", name)
 			}
@@ -394,6 +406,12 @@ func (p *parser) resolveArg(a string, regs map[string]reg) ([]int, error) {
 
 const maxExpansionDepth = 64
 
+// maxExpandedGates bounds the total gate count a program may expand to.
+// Depth alone does not: a chain of definitions that each invoke the
+// previous one twice grows 2^depth applications from a kilobyte of
+// source, which is a hang rather than a circuit.
+const maxExpandedGates = 1 << 20
+
 // application handles a gate application at top level (env == nil) or
 // inside a gate-body expansion (env binds params, bindings binds formal
 // qubit names).
@@ -487,6 +505,9 @@ var builtinArity = map[string][2]int{
 }
 
 func (p *parser) applyOne(name string, vals []float64, qs []int, depth int) error {
+	if p.prog.Circuit.GateCount() >= maxExpandedGates {
+		return fmt.Errorf("qasm: program expands to more than %d gates", maxExpandedGates)
+	}
 	if def, ok := p.defs[name]; ok {
 		if len(vals) != len(def.params) {
 			return fmt.Errorf("qasm: gate %s expects %d parameters, got %d", name, len(def.params), len(vals))

@@ -1,0 +1,13 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// parameterised gate definition with expression arithmetic
+gate foo(theta, phi) a, b {
+  rx(theta/2) a;
+  cu1(phi + pi/4) a, b;
+  u3(theta, -phi, pi) b;
+}
+qreg q[3];
+foo(pi/3, 0.25) q[0], q[2];
+rz(2*pi/7) q[1];
+barrier q;
+foo(1.5e-3, -pi) q[1], q[0];

@@ -3,6 +3,7 @@ package qasm
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"repro/internal/circuit"
@@ -41,6 +42,13 @@ func ExportString(c *circuit.Circuit) (string, error) {
 }
 
 func exportGate(g circuit.Gate) (string, error) {
+	// %.17g renders NaN/Inf as words the parser would read back as
+	// unknown identifiers; a non-finite angle is not expressible.
+	for _, v := range g.Params {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "", fmt.Errorf("gate %q has non-finite parameter %v", g.Name, v)
+		}
+	}
 	var pre, post strings.Builder
 	var posControls []int
 	for _, ctl := range g.Controls {
