@@ -15,6 +15,14 @@
 //	ddbench -experiment fig8 -reps 3        # tighter timing
 //	ddbench -experiment fig9 -csvdir out/   # also write raw CSV data
 //	ddbench -experiment fig8 -metrics-out m.json -pprof prof/
+//	ddbench -experiment fig8 -parallel 4    # sweep cells on a worker pool
+//
+// -parallel N runs the independent sweep cells (fig8/fig9/adaptive,
+// baselines included) through a bounded worker pool, each cell on its
+// own freshly created engine. Marks and node counts are identical to
+// serial mode — only the timing columns shift with machine load, so use
+// -parallel for mark/telemetry sweeps and serial mode for headline
+// speed-up numbers.
 //
 // Sweeps additionally write per-cell run telemetry (<name>_metrics.csv)
 // next to the raw data when -csvdir is set. -metrics-out aggregates the
@@ -49,6 +57,7 @@ func main() {
 		reps       = flag.Int("reps", 1, "timing repetitions (fastest run reported)")
 		budget     = flag.Duration("budget", 30*time.Second, "per-run timeout (paper: 2 CPU hours)")
 		maxNodes   = flag.Int("max-nodes", 0, "per-run live-node budget; exceeding runs are reported as oom cells (0 = unlimited)")
+		parallel   = flag.Int("parallel", 1, "run sweep cells through a worker pool of this many workers (cells stay deterministic: same marks and node counts as serial mode, only timings shift)")
 		csvDir     = flag.String("csvdir", "", "also write raw experiment data as CSV files into this directory")
 		metricsOut = flag.String("metrics-out", "", "write an aggregated metrics snapshot over all measured runs (JSON, or Prometheus text if the path ends in .prom)")
 		progress   = flag.Bool("progress", false, "stream per-run progress lines to stderr")
@@ -56,7 +65,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Reps: *reps, Budget: *budget, MaxNodes: *maxNodes, Full: *full}
+	cfg := bench.Config{Reps: *reps, Budget: *budget, MaxNodes: *maxNodes, Full: *full, Parallel: *parallel}
 	if *metricsOut != "" {
 		cfg.Metrics = obs.NewRegistry()
 	}

@@ -9,6 +9,13 @@
 //	ddsim -file circuit.qc -strategy max-size -smax 128 -shots 10
 //	ddsim -file bell.qasm -top 4
 //	ddsim -file - < circuit.qc       # read from stdin
+//	ddsim -file grover.qc -shots 1000 -parallel 8   # fan sampling out
+//
+// -shots K -parallel N fans K measurement-sampling runs across a pool
+// of N workers, each job on its own freshly created engine with its
+// own rng stream (seed + job index); -max-nodes then acts as a total
+// budget split across the in-flight workers. Dynamic OpenQASM programs
+// (measure/reset/if) fan their shot loop out the same way.
 //
 // Strategies: sequential (default), k-operations (-k), max-size
 // (-smax), adaptive (-ratio), combine-all. -blocks additionally enables
@@ -36,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/circuit"
 	"repro/internal/cnum"
 	"repro/internal/core"
@@ -52,6 +60,7 @@ func main() {
 		smax      = flag.Int("smax", 128, "s_max for strategy max-size")
 		blocks    = flag.Bool("blocks", false, "exploit repeated blocks (DD-repeating)")
 		shots     = flag.Int("shots", 0, "measurement samples to draw from the final state")
+		parallel  = flag.Int("parallel", 1, "fan -shots sampling runs across a worker pool of this many workers (each on its own engine; -max-nodes is split across in-flight workers)")
 		seed      = flag.Int64("seed", 1, "random seed for sampling")
 		top       = flag.Int("top", 8, "print the N largest-probability amplitudes")
 		showTrace = flag.Bool("trace", false, "print per-step DD sizes")
@@ -119,11 +128,16 @@ func main() {
 		baseOpt.Metrics = octl.registry
 	}
 
+	if *parallel > 1 && (*ckptPath != "" || *resume != "") {
+		fmt.Fprintln(os.Stderr, "ddsim: -parallel cannot be combined with -checkpoint or -resume")
+		os.Exit(2)
+	}
+
 	// OpenQASM programs containing measurements, resets or classical
 	// control run as dynamic circuits: one execution per shot, classical
 	// histogram reported.
 	if isQASM(text) && hasDynamicOps(text) {
-		runDynamic(text, baseOpt, *shots, *seed)
+		runDynamic(text, baseOpt, *shots, *parallel, *seed)
 		octl.finish()
 		return
 	}
@@ -171,7 +185,13 @@ func main() {
 		}
 	}
 
-	res, err := core.Run(c, runOpt)
+	var res *core.Result
+	var parCounts map[uint64]int // merged histogram from the parallel fan-out
+	if *parallel > 1 && *shots > 0 {
+		res, parCounts, err = runParallelShots(c, runOpt, *shots, *parallel, *seed, *maxNodes)
+	} else {
+		res, err = core.Run(c, runOpt)
+	}
 	if err != nil {
 		// The partial run's telemetry is the interesting part of an
 		// aborted run; flush it before reportFailure exits.
@@ -182,6 +202,10 @@ func main() {
 	fmt.Printf("circuit:        %s (%d qubits, %d gates, depth %d)\n",
 		name(c), c.NQubits, c.GateCount(), c.Depth())
 	fmt.Printf("strategy:       %s (blocks: %v)\n", st.Name(), *blocks)
+	if parCounts != nil {
+		fmt.Printf("parallel:       %d sampling runs across %d workers (seed %d + job index)\n",
+			len(batch.SplitShots(*shots, *parallel)), *parallel, *seed)
+	}
 	fmt.Printf("runtime:        %v\n", res.Duration)
 	fmt.Printf("mat-vec steps:  %d\n", res.MatVecSteps)
 	fmt.Printf("mat-mat steps:  %d\n", res.MatMatSteps)
@@ -199,12 +223,15 @@ func main() {
 		printTopAmplitudes(res, c.NQubits, *top)
 	}
 	if *shots > 0 {
-		rng := rand.New(rand.NewSource(*seed))
-		fmt.Printf("samples (%d shots):\n", *shots)
-		counts := map[uint64]int{}
-		for i := 0; i < *shots; i++ {
-			counts[res.State.SampleAll(rng)]++
+		counts := parCounts
+		if counts == nil {
+			rng := rand.New(rand.NewSource(*seed))
+			counts = map[uint64]int{}
+			for i := 0; i < *shots; i++ {
+				counts[res.State.SampleAll(rng)]++
+			}
 		}
+		fmt.Printf("samples (%d shots):\n", *shots)
 		type kv struct {
 			idx uint64
 			n   int
@@ -303,27 +330,45 @@ func reportFailure(res *core.Result, c *circuit.Circuit, err error, ckptPath str
 	}
 }
 
-// runDynamic executes a dynamic OpenQASM program shot by shot.
-func runDynamic(text string, opt core.Options, shots int, seed int64) {
+// runDynamic executes a dynamic OpenQASM program shot by shot —
+// serially, or fanned out across a worker pool when parallel > 1
+// (each shot is a full program execution, so the fan-out is what makes
+// large -shots counts tractable).
+func runDynamic(text string, opt core.Options, shots, parallel int, seed int64) {
 	prog, err := qasm.ParseDynamicString(text)
 	if err != nil {
 		fatal(err)
 	}
 	st := opt.Strategy
+	if st == nil {
+		st = core.Sequential{}
+	}
 	if shots <= 0 {
 		shots = 1
 	}
-	rng := rand.New(rand.NewSource(seed))
-	counts := map[uint64]int{}
-	for i := 0; i < shots; i++ {
-		res, err := prog.Run(opt, rng)
+	var counts map[uint64]int
+	if parallel > 1 {
+		counts, err = runDynamicParallel(prog, opt, shots, parallel, seed)
 		if err != nil {
 			fatal(err)
 		}
-		counts[res.Classical]++
+	} else {
+		rng := rand.New(rand.NewSource(seed))
+		counts = map[uint64]int{}
+		for i := 0; i < shots; i++ {
+			res, err := prog.Run(opt, rng)
+			if err != nil {
+				fatal(err)
+			}
+			counts[res.Classical]++
+		}
 	}
 	fmt.Printf("dynamic program: %d qubits, %d classical bits, %d ops\n",
 		prog.NQubits, prog.NClbits, len(prog.Ops))
+	if parallel > 1 {
+		fmt.Printf("parallel:        %d shots across %d workers (seed %d + job index)\n",
+			shots, parallel, seed)
+	}
 	fmt.Printf("strategy:        %s, %d shot(s)\n", st.Name(), shots)
 	type kv struct {
 		bits uint64

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/batch"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/obs"
+)
+
+// runParallelShots fans -shots K across a worker pool: W =
+// min(parallel, K) independent jobs, each simulating the circuit on
+// its own freshly created engine and sampling its share of the shots
+// with a deterministically derived seed (base seed + job index). The
+// merged histogram is deterministic for a fixed (seed, parallel) pair;
+// it differs from the serial -shots sequence because each job draws
+// from its own rng stream.
+//
+// Returns the first job's simulation result (every job computes the
+// same final state) for the standard report, and the merged counts.
+func runParallelShots(c *circuit.Circuit, opt core.Options, shots, parallel int, seed int64, maxNodes int) (*core.Result, map[uint64]int, error) {
+	shares := batch.SplitShots(shots, parallel)
+	// The batch owns engine creation, the node-budget split, and the
+	// serialisation of shared sinks; the per-job options must not carry
+	// the single-run engine or budget.
+	opt.Engine = nil
+	opt.MaxNodes = 0
+	events := opt.EventSink
+	metrics := opt.Metrics
+	opt.EventSink = nil
+	opt.Metrics = nil
+	jobs := make([]core.BatchJob, len(shares))
+	for i := range jobs {
+		jobs[i] = core.BatchJob{Circuit: c, Options: opt}
+	}
+	results, err := core.RunBatch(context.Background(), jobs, core.BatchOptions{
+		Workers:  parallel,
+		MaxNodes: maxNodes,
+		Events:   events,
+		Metrics:  metrics,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Result, nil, r.Err
+		}
+	}
+	counts := map[uint64]int{}
+	for j, r := range results {
+		rng := rand.New(rand.NewSource(seed + int64(j)))
+		for s := 0; s < shares[j]; s++ {
+			counts[r.Result.State.SampleAll(rng)]++
+		}
+	}
+	return results[0].Result, counts, nil
+}
+
+// runDynamicParallel fans a dynamic program's shot loop across a
+// worker pool: each job re-executes the program for its share of the
+// shots with its own rng stream (seed + job index) and a fresh engine
+// per execution, then the classical histograms are merged.
+func runDynamicParallel(prog *dynamic.Program, opt core.Options, shots, parallel int, seed int64) (map[uint64]int, error) {
+	shares := batch.SplitShots(shots, parallel)
+	if opt.EventSink != nil {
+		opt.EventSink = obs.NewSyncSink(opt.EventSink)
+	}
+	jobs := make([]batch.Job[map[uint64]int], len(shares))
+	for j := range jobs {
+		j := j
+		jobs[j] = func(context.Context, int) (map[uint64]int, error) {
+			rng := rand.New(rand.NewSource(seed + int64(j)))
+			local := map[uint64]int{}
+			for s := 0; s < shares[j]; s++ {
+				res, err := prog.Run(opt, rng)
+				if err != nil {
+					return nil, fmt.Errorf("shot on worker job %d: %w", j, err)
+				}
+				local[res.Classical]++
+			}
+			return local, nil
+		}
+	}
+	results, err := batch.Run(context.Background(), jobs,
+		batch.Options{Workers: parallel, Metrics: opt.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	counts := map[uint64]int{}
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		for bits, n := range r.Value {
+			counts[bits] += n
+		}
+	}
+	return counts, nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package batch_test
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// guards skip under it (instrumentation skews run times by ~10x).
+const raceEnabled = true

@@ -44,6 +44,14 @@ type Config struct {
 	// Full selects the larger instances (several minutes of total
 	// runtime instead of tens of seconds).
 	Full bool
+	// Parallel runs sweep cells through a bounded worker pool of this
+	// many workers (internal/batch), each cell on its own freshly
+	// created engine. Values <= 1 keep the serial cell order. Marks and
+	// node counts are identical to serial mode; only wall-clock timings
+	// (and thus speed-up columns) shift with machine load. MaxNodes
+	// stays a per-run budget — it is deliberately not split across
+	// workers, so oom marks cannot depend on the worker count.
+	Parallel int
 	// Metrics, when non-nil, aggregates run telemetry from every measured
 	// run into one shared registry (see internal/obs).
 	Metrics *obs.Registry
@@ -130,6 +138,7 @@ type Measurement struct {
 	Seconds  float64
 	TimedOut bool
 	OOM      bool // node budget exceeded (cfg.MaxNodes)
+	Canceled bool // run cancelled (fail-fast batch abort, ^C)
 	Err      error
 	// Cell carries the run's telemetry totals (Valid=false when the run
 	// died before emitting a run_end event). Aborted cells keep the
@@ -138,15 +147,17 @@ type Measurement struct {
 }
 
 // Mark classifies the measurement for table cells: "" for a clean run,
-// "timeout", "oom", or "error". Sweeps record the mark per cell instead
-// of aborting, so one blown configuration cannot kill a whole
-// experiment.
+// "timeout", "oom", "canceled", or "error". Sweeps record the mark per
+// cell instead of aborting, so one blown configuration cannot kill a
+// whole experiment.
 func (m Measurement) Mark() string {
 	switch {
 	case m.TimedOut:
 		return "timeout"
 	case m.OOM:
 		return "oom"
+	case m.Canceled:
+		return "canceled"
 	case m.Err != nil:
 		return "error"
 	}
@@ -157,11 +168,34 @@ func (m Measurement) Mark() string {
 // fastest run. A run that exceeds cfg.Budget reports a timeout; one
 // that exceeds cfg.MaxNodes reports an OOM. Other failures are captured
 // in Err rather than propagated, so sweeps degrade per cell.
+//
+// Every state Time touches — the rep deadline, the run_end capture, the
+// reported telemetry cell — is local to one repetition, so concurrent
+// Time calls (batch-executed sweep cells) cannot cross-contaminate, and
+// the reported Cell always belongs to the rep whose timing is reported.
 func Time(w Workload, opt core.Options, cfg Config) Measurement {
+	best := Measurement{Seconds: math.Inf(1)}
+	for i := 0; i < cfg.reps(); i++ {
+		m := timeOnce(w, opt, cfg)
+		if m.Mark() != "" {
+			return m
+		}
+		if m.Seconds < best.Seconds {
+			best = m
+		}
+	}
+	return best
+}
+
+// timeOnce performs one timed repetition with rep-local deadline and
+// telemetry capture. The options value is copied, never mutated in
+// place, so the caller's opt survives across reps and across
+// concurrently measured cells.
+func timeOnce(w Workload, opt core.Options, cfg Config) Measurement {
 	// Harvest run totals from the run_end event; core emits it even for
 	// aborted runs, so timeout/oom cells still carry their counters.
-	cap := &runEndCapture{}
-	sinks := obs.MultiSink{cap}
+	capture := &runEndCapture{}
+	sinks := obs.MultiSink{capture}
 	if opt.EventSink != nil {
 		sinks = append(sinks, opt.EventSink)
 	}
@@ -172,39 +206,58 @@ func Time(w Workload, opt core.Options, cfg Config) Measurement {
 	if opt.Metrics == nil {
 		opt.Metrics = cfg.Metrics
 	}
-	best := math.Inf(1)
-	for i := 0; i < cfg.reps(); i++ {
-		if cfg.Budget > 0 {
-			opt.Deadline = time.Now().Add(cfg.Budget)
-		}
-		if cfg.MaxNodes > 0 {
-			opt.MaxNodes = cfg.MaxNodes
-			// The cell reports whether the strategy as configured fits the
-			// budget; silent degradation would blur the comparison.
-			opt.DisableFallback = true
-		}
-		start := time.Now()
-		err := w.Run(opt)
-		elapsed := time.Since(start).Seconds()
-		if err != nil {
-			switch {
-			case isDeadline(err):
-				return Measurement{Seconds: cfg.Budget.Seconds(), TimedOut: true, Cell: cap.cell(cfg.Budget.Seconds())}
-			case errors.Is(err, core.ErrBudgetExceeded):
-				return Measurement{Seconds: elapsed, OOM: true, Err: err, Cell: cap.cell(elapsed)}
-			default:
-				return Measurement{Err: err, Cell: cap.cell(elapsed)}
-			}
-		}
-		if elapsed < best {
-			best = elapsed
-		}
+	if cfg.Budget > 0 {
+		// The deadline is armed per repetition, at the moment the run
+		// actually starts — a batch-executed cell must not burn its budget
+		// sitting in the pool queue.
+		opt.Deadline = time.Now().Add(cfg.Budget)
 	}
-	return Measurement{Seconds: best, Cell: cap.cell(best)}
+	if cfg.MaxNodes > 0 {
+		if opt.MaxNodes == 0 || opt.MaxNodes > cfg.MaxNodes {
+			opt.MaxNodes = cfg.MaxNodes
+		}
+		// The cell reports whether the strategy as configured fits the
+		// budget; silent degradation would blur the comparison.
+		opt.DisableFallback = true
+	}
+	start := time.Now()
+	err := w.Run(opt)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		m := classify(err, elapsed, cfg)
+		m.Cell = capture.cell(m.Seconds)
+		return m
+	}
+	return Measurement{Seconds: elapsed, Cell: capture.cell(elapsed)}
 }
 
-func isDeadline(err error) bool {
-	return errors.Is(err, core.ErrDeadlineExceeded)
+// classify maps a run failure onto the measurement marks. The typed
+// *core.RunError carries the exact failure kind — including for
+// batch-executed cells, whose errors may additionally wrap pool
+// context — with the sentinel checks kept as a fallback for workloads
+// that re-wrap errors without preserving the RunError.
+func classify(err error, elapsed float64, cfg Config) Measurement {
+	var re *core.RunError
+	if errors.As(err, &re) {
+		switch re.Kind {
+		case core.FailureDeadline:
+			return Measurement{Seconds: cfg.Budget.Seconds(), TimedOut: true}
+		case core.FailureBudget:
+			return Measurement{Seconds: elapsed, OOM: true, Err: err}
+		case core.FailureCanceled:
+			return Measurement{Seconds: elapsed, Canceled: true, Err: err}
+		}
+		return Measurement{Seconds: elapsed, Err: err}
+	}
+	switch {
+	case errors.Is(err, core.ErrDeadlineExceeded):
+		return Measurement{Seconds: cfg.Budget.Seconds(), TimedOut: true}
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return Measurement{Seconds: elapsed, OOM: true, Err: err}
+	case errors.Is(err, core.ErrCanceled):
+		return Measurement{Seconds: elapsed, Canceled: true, Err: err}
+	}
+	return Measurement{Seconds: elapsed, Err: err}
 }
 
 // TFIMWorkload returns a Trotterized transverse-field Ising evolution

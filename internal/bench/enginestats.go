@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -55,7 +56,7 @@ func EngineStats(cfg Config) ([]EngineStatsRow, error) {
 			err := w.Run(opt)
 			elapsed := time.Since(start).Seconds()
 			if err != nil {
-				if isDeadline(err) {
+				if errors.Is(err, core.ErrDeadlineExceeded) {
 					continue // drop timed-out runs; the row would be partial
 				}
 				return nil, fmt.Errorf("bench: enginestats: %s/%s: %w", w.Name, st.Name(), err)

@@ -1,11 +1,14 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/shor"
 	"repro/internal/supremacy"
 )
@@ -74,8 +77,27 @@ func Fig9(cfg Config) (*SweepResult, error) {
 
 func sweep(cfg Config, title, param string, params []int, mk func(int) core.Strategy, ws []Workload) (*SweepResult, error) {
 	res := &SweepResult{Title: title, Param: param, Params: params}
-	for _, w := range ws {
-		base := Time(w, core.Options{Strategy: core.Sequential{}}, cfg)
+	// Every cell — the sequential baselines included — is an independent
+	// measurement on its own fresh engine; the speed-up arithmetic runs
+	// afterwards, so the cells can execute in any order and runCells may
+	// fan them out across a worker pool (cfg.Parallel). Cell index
+	// layout: workload wi owns the contiguous block starting at
+	// wi*(1+len(params)), baseline first, then one cell per parameter.
+	stride := 1 + len(params)
+	strategyFor := func(i int) core.Strategy {
+		if i%stride == 0 {
+			return core.Sequential{}
+		}
+		return mk(params[i%stride-1])
+	}
+	ms, err := runCells(cfg, stride*len(ws), func(i int, cfg Config) Measurement {
+		return Time(ws[i/stride], core.Options{Strategy: strategyFor(i)}, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		base := ms[wi*stride]
 		res.Names = append(res.Names, w.Name)
 		res.BaselineMark = append(res.BaselineMark, base.Mark())
 		baseSec := base.Seconds
@@ -87,8 +109,8 @@ func sweep(cfg Config, title, param string, params []int, mk func(int) core.Stra
 		row := make([]float64, len(params))
 		marks := make([]string, len(params))
 		cells := make([]CellMetrics, len(params))
-		for i, p := range params {
-			m := Time(w, core.Options{Strategy: mk(p)}, cfg)
+		for i := range params {
+			m := ms[wi*stride+1+i]
 			marks[i] = m.Mark()
 			cells[i] = m.Cell
 			if m.Mark() != "" || base.Mark() != "" {
@@ -117,6 +139,52 @@ func sweep(cfg Config, title, param string, params []int, mk func(int) core.Stra
 		}
 	}
 	return res, nil
+}
+
+// runCells executes n independent cell measurements: in index order
+// when cfg.Parallel <= 1, otherwise through a bounded worker pool
+// (internal/batch). Results always come back in cell order, so the
+// rendered tables and CSV are identical either way — marks and node
+// counts exactly, timings modulo machine load. cfg.MaxNodes stays a
+// per-run budget (each cell simulates on its own fresh engine), so
+// oom marks do not depend on the worker count. Shared sinks are
+// serialised for the parallel path; the shared metrics registry is
+// already safe for concurrent runs.
+func runCells(cfg Config, n int, measure func(i int, cfg Config) Measurement) ([]Measurement, error) {
+	if cfg.Parallel <= 1 {
+		out := make([]Measurement, n)
+		for i := range out {
+			out[i] = measure(i, cfg)
+		}
+		return out, nil
+	}
+	pcfg := cfg
+	if cfg.Events != nil {
+		pcfg.Events = obs.NewSyncSink(cfg.Events)
+	}
+	jobs := make([]batch.Job[Measurement], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context, int) (Measurement, error) {
+			return measure(i, pcfg), nil
+		}
+	}
+	pres, err := batch.Run(context.Background(), jobs,
+		batch.Options{Workers: cfg.Parallel, Metrics: cfg.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Measurement, n)
+	for i, pr := range pres {
+		// Cells report failures through Measurement marks; pool-level
+		// errors only arise from panics the measurement did not absorb.
+		if pr.Err != nil {
+			out[i] = Measurement{Err: pr.Err}
+			continue
+		}
+		out[i] = pr.Value
+	}
+	return out, nil
 }
 
 // --- Table I: grover with DD-repeating ----------------------------------

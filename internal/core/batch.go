@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/circuit"
+	"repro/internal/dd"
+	"repro/internal/obs"
+)
+
+// BatchJob is one independent simulation in a batch: a circuit and its
+// per-run options. Unless Options.Engine is set the job runs on a
+// freshly created engine — engines are not goroutine-safe, so
+// isolation between concurrent jobs is per-engine by construction. A
+// caller-supplied engine must not be shared with any other job of the
+// same batch (chaos tests use this to arm fault injection on exactly
+// one worker's engine).
+type BatchJob struct {
+	Circuit *circuit.Circuit
+	Options Options
+}
+
+// BatchOptions configures RunBatch.
+type BatchOptions struct {
+	// Workers bounds the number of simulations in flight; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// FailFast cancels the whole batch on the first job failure: running
+	// siblings abort (FailureCanceled) and queued jobs are skipped with
+	// ErrBatchSkipped. Off by default — one aborted job must not kill
+	// its siblings.
+	FailFast bool
+	// MaxNodes is a shared live-node budget divided evenly across the
+	// in-flight workers (shared-nothing split: each concurrent job gets
+	// MaxNodes/Workers). A job whose own Options.MaxNodes is tighter
+	// keeps it. Zero means unlimited.
+	MaxNodes int
+	// Metrics, when set, receives the pool's per-worker instruments
+	// (batch_jobs_*_total{worker=...}, queue-wait histogram, in-flight
+	// gauge, per-worker peak-node gauges) and — for jobs that do not
+	// carry their own registry — the per-run telemetry too.
+	Metrics *obs.Registry
+	// Events, when set, receives every job's event stream. The sink is
+	// wrapped in one obs.SyncSink, so events arrive whole but streams of
+	// concurrent jobs interleave.
+	Events obs.Sink
+}
+
+// ErrBatchSkipped marks a job that never ran because the batch aborted
+// first (parent context cancelled, or a sibling failed under
+// FailFast). Match with errors.Is.
+var ErrBatchSkipped = batch.ErrSkipped
+
+// BatchResult is one job's outcome. Exactly one Result per job is
+// returned, in job order.
+type BatchResult struct {
+	// Result is the simulation outcome — partial for aborted runs, nil
+	// only for jobs that never started (Err wraps ErrBatchSkipped) or
+	// failed option validation.
+	Result *Result
+	// Err is the job's *RunError (or validation error); nil on success.
+	Err error
+	// Worker is the pool worker that ran the job (-1 if skipped).
+	Worker int
+	// QueueWait is how long the job waited for a free worker.
+	QueueWait time.Duration
+}
+
+// RunBatch executes the jobs concurrently on a bounded worker pool,
+// one freshly created engine per job, and returns their results in job
+// order. Per-job failures (deadline, budget, panic, …) are recorded in
+// the matching BatchResult and never kill the batch unless FailFast is
+// set; cancelling ctx aborts every running job cooperatively. RunBatch
+// itself errors only on invalid configuration (nil circuit, nil job).
+func RunBatch(ctx context.Context, jobs []BatchJob, opt BatchOptions) ([]BatchResult, error) {
+	for i, j := range jobs {
+		if j.Circuit == nil {
+			return nil, fmt.Errorf("core: batch job %d: nil circuit", i)
+		}
+	}
+	workers := batch.Options{Workers: opt.Workers}.EffectiveWorkers(len(jobs))
+	perJobBudget := 0
+	if opt.MaxNodes > 0 && workers > 0 {
+		perJobBudget = opt.MaxNodes / workers
+		if perJobBudget < 1 {
+			perJobBudget = 1
+		}
+	}
+	var events obs.Sink
+	if opt.Events != nil {
+		events = obs.NewSyncSink(opt.Events)
+	}
+	peaks := newWorkerPeaks(opt.Metrics, workers)
+
+	pjobs := make([]batch.Job[*Result], len(jobs))
+	for i := range jobs {
+		i := i
+		pjobs[i] = func(jctx context.Context, worker int) (*Result, error) {
+			o := jobs[i].Options
+			if o.Engine == nil {
+				o.Engine = dd.New()
+			}
+			if perJobBudget > 0 && (o.MaxNodes == 0 || o.MaxNodes > perJobBudget) {
+				o.MaxNodes = perJobBudget
+			}
+			if o.Metrics == nil {
+				o.Metrics = opt.Metrics
+			}
+			if events != nil {
+				if o.EventSink != nil {
+					o.EventSink = obs.MultiSink{o.EventSink, events}
+				} else {
+					o.EventSink = events
+				}
+			}
+			if peaks != nil {
+				cap := &peakCapture{}
+				if o.EventSink != nil {
+					o.EventSink = obs.MultiSink{o.EventSink, cap}
+				} else {
+					o.EventSink = cap
+				}
+				defer func() { peaks.note(worker, cap.peak) }()
+			}
+			return RunContext(jctx, jobs[i].Circuit, o)
+		}
+	}
+	pres, err := batch.Run(ctx, pjobs, batch.Options{
+		Workers:  opt.Workers,
+		FailFast: opt.FailFast,
+		Metrics:  opt.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchResult, len(pres))
+	for i, pr := range pres {
+		out[i] = BatchResult{
+			Result:    pr.Value,
+			Err:       pr.Err,
+			Worker:    pr.Worker,
+			QueueWait: pr.QueueWait,
+		}
+	}
+	return out, nil
+}
+
+// workerPeaks feeds the per-worker peak-node gauges from the run_end
+// plumbing: every job's closing run_end event carries the run's peak
+// live-node count; the gauge keeps the maximum its worker has seen.
+type workerPeaks struct {
+	gauges []*obs.Gauge
+}
+
+func newWorkerPeaks(r *obs.Registry, workers int) *workerPeaks {
+	if r == nil {
+		return nil
+	}
+	p := &workerPeaks{}
+	for w := 0; w < workers; w++ {
+		p.gauges = append(p.gauges, r.Gauge(
+			obs.Label("batch_worker_peak_nodes", "worker", strconv.Itoa(w)),
+			"Peak live DD nodes of any job run by this worker (from run_end)."))
+	}
+	return p
+}
+
+// note records a finished job's peak on its worker's gauge. Each
+// worker runs jobs serially, so the read-modify-write is single-writer.
+func (p *workerPeaks) note(worker, peak int) {
+	if worker >= len(p.gauges) || peak <= 0 {
+		return
+	}
+	if g := p.gauges[worker]; int64(peak) > g.Value() {
+		g.Set(int64(peak))
+	}
+}
+
+// peakCapture snatches PeakNodes off the job's run_end event.
+type peakCapture struct{ peak int }
+
+func (c *peakCapture) Emit(e obs.Event) {
+	if e.Kind == obs.KindRunEnd && e.PeakNodes > c.peak {
+		c.peak = e.PeakNodes
+	}
+}
+
+// BatchFailed reports whether err is a real job failure rather than a
+// skip marker — convenience for sweep-style callers that treat skipped
+// and failed cells differently.
+func BatchFailed(err error) bool {
+	return err != nil && !errors.Is(err, ErrBatchSkipped)
+}

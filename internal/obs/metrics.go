@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -86,6 +87,59 @@ func ExponentialBuckets(start, factor float64, n int) []float64 {
 	return b
 }
 
+// Label renders a Prometheus-style labelled series name,
+// name{k1="v1",k2="v2"}, from alternating key/value pairs. The
+// registry treats the result as an ordinary (distinct) metric name, so
+// per-worker series like batch_jobs_done_total{worker="3"} register as
+// independent instruments; WritePrometheus groups all series of one
+// family under a single HELP/TYPE header.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: Label requires alternating key/value pairs")
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", kv[i], kv[i+1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// splitSeries separates a (possibly labelled) series name into its
+// family name and the label block ("" when unlabelled).
+func splitSeries(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// seriesName renders family{labels,extra...}, merging the stored label
+// block with extra pairs (used for histogram _bucket le labels).
+func seriesName(family, labels string, extra ...string) string {
+	all := labels
+	for i := 0; i+1 < len(extra); i += 2 {
+		pair := fmt.Sprintf("%s=%q", extra[i], extra[i+1])
+		if all == "" {
+			all = pair
+		} else {
+			all += "," + pair
+		}
+	}
+	if all == "" {
+		return family
+	}
+	return family + "{" + all + "}"
+}
+
 // --- Registry -----------------------------------------------------------
 
 type metricKind uint8
@@ -130,7 +184,11 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]*metric)}
 }
 
-func (r *Registry) lookup(name, help string, kind metricKind) *metric {
+// lookup finds or registers the named metric. The instrument is
+// created by init while the registry lock is held — concurrent
+// registrations of the same name (batch workers opening their run
+// metrics at once) must agree on one instrument.
+func (r *Registry) lookup(name, help string, kind metricKind, init func(*metric)) *metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if m, ok := r.byName[name]; ok {
@@ -140,6 +198,7 @@ func (r *Registry) lookup(name, help string, kind metricKind) *metric {
 		return m
 	}
 	m := &metric{name: name, help: help, kind: kind}
+	init(m)
 	r.ordered = append(r.ordered, m)
 	r.byName[name] = m
 	return m
@@ -147,30 +206,18 @@ func (r *Registry) lookup(name, help string, kind metricKind) *metric {
 
 // Counter returns the counter with the given name, creating it if new.
 func (r *Registry) Counter(name, help string) *Counter {
-	m := r.lookup(name, help, kindCounter)
-	if m.c == nil {
-		m.c = &Counter{}
-	}
-	return m.c
+	return r.lookup(name, help, kindCounter, func(m *metric) { m.c = &Counter{} }).c
 }
 
 // Gauge returns the gauge with the given name, creating it if new.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	m := r.lookup(name, help, kindGauge)
-	if m.g == nil {
-		m.g = &Gauge{}
-	}
-	return m.g
+	return r.lookup(name, help, kindGauge, func(m *metric) { m.g = &Gauge{} }).g
 }
 
 // Histogram returns the histogram with the given name, creating it
 // with the given bucket bounds if new (bounds are ignored on reuse).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
-	m := r.lookup(name, help, kindHistogram)
-	if m.h == nil {
-		m.h = newHistogram(bounds)
-	}
-	return m.h
+	return r.lookup(name, help, kindHistogram, func(m *metric) { m.h = newHistogram(bounds) }).h
 }
 
 // BucketSnapshot is one cumulative histogram bucket. LE is the upper
@@ -236,34 +283,49 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WritePrometheus writes the snapshot in Prometheus text exposition
-// format (version 0.0.4).
+// format (version 0.0.4). Labelled series (see Label) are grouped by
+// family: one HELP/TYPE header per family in first-registration order,
+// then every series of that family.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	var families []string
+	grouped := make(map[string][]MetricSnapshot)
 	for _, s := range r.Snapshot() {
-		if s.Help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+		family, _ := splitSeries(s.Name)
+		if _, ok := grouped[family]; !ok {
+			families = append(families, family)
+		}
+		grouped[family] = append(grouped[family], s)
+	}
+	for _, family := range families {
+		series := grouped[family]
+		if help := series[0].Help; help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, help); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Type); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, series[0].Type); err != nil {
 			return err
 		}
-		var err error
-		switch s.Type {
-		case "histogram":
-			for _, b := range s.Buckets {
-				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, b.LE, b.Count); err != nil {
+		for _, s := range series {
+			_, labels := splitSeries(s.Name)
+			var err error
+			switch s.Type {
+			case "histogram":
+				for _, b := range s.Buckets {
+					if _, err = fmt.Fprintf(w, "%s %d\n", seriesName(family+"_bucket", labels, "le", b.LE), b.Count); err != nil {
+						return err
+					}
+				}
+				if _, err = fmt.Fprintf(w, "%s %s\n", seriesName(family+"_sum", labels), formatLE(s.Sum)); err != nil {
 					return err
 				}
+				_, err = fmt.Fprintf(w, "%s %d\n", seriesName(family+"_count", labels), s.Count)
+			default:
+				_, err = fmt.Fprintf(w, "%s %s\n", seriesName(family, labels), formatLE(s.Value))
 			}
-			if _, err = fmt.Fprintf(w, "%s_sum %s\n", s.Name, formatLE(s.Sum)); err != nil {
+			if err != nil {
 				return err
 			}
-			_, err = fmt.Fprintf(w, "%s_count %d\n", s.Name, s.Count)
-		default:
-			_, err = fmt.Fprintf(w, "%s %s\n", s.Name, formatLE(s.Value))
-		}
-		if err != nil {
-			return err
 		}
 	}
 	return nil

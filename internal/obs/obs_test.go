@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -258,5 +259,108 @@ func TestRegistryWritePrometheus(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("prometheus output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("jobs_total"); got != "jobs_total" {
+		t.Fatalf("no labels: %q", got)
+	}
+	if got := Label("jobs_total", "worker", "3"); got != `jobs_total{worker="3"}` {
+		t.Fatalf("one label: %q", got)
+	}
+	if got := Label("jobs_total", "worker", "3", "kind", "grover"); got != `jobs_total{worker="3",kind="grover"}` {
+		t.Fatalf("two labels: %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd kv count did not panic")
+		}
+	}()
+	Label("jobs_total", "worker")
+}
+
+func TestWritePrometheusLabelledFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("pool_jobs_total", "worker", "0"), "Jobs per worker.").Add(2)
+	r.Counter(Label("pool_jobs_total", "worker", "1"), "Jobs per worker.").Add(5)
+	h := r.Histogram(Label("pool_wait_seconds", "worker", "0"), "Wait per worker.", []float64{1})
+	h.Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pool_jobs_total counter",
+		`pool_jobs_total{worker="0"} 2`,
+		`pool_jobs_total{worker="1"} 5`,
+		"# TYPE pool_wait_seconds histogram",
+		`pool_wait_seconds_bucket{worker="0",le="1"} 1`,
+		`pool_wait_seconds_bucket{worker="0",le="+Inf"} 1`,
+		`pool_wait_seconds_sum{worker="0"} 0.5`,
+		`pool_wait_seconds_count{worker="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("labelled prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One header per family, not per series.
+	if got := strings.Count(out, "# TYPE pool_jobs_total counter"); got != 1 {
+		t.Errorf("family header repeated %d times:\n%s", got, out)
+	}
+}
+
+func TestSyncSinkSerialisesEmitters(t *testing.T) {
+	ring := NewRing(1024) // not goroutine-safe on its own
+	sink := NewSyncSink(ring)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sink.Emit(Event{Kind: KindRunEnd})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(ring.Events()); got != 800 {
+		t.Fatalf("ring holds %d events, want 800", got)
+	}
+}
+
+func TestSyncSinkNil(t *testing.T) {
+	NewSyncSink(nil).Emit(Event{Kind: KindRunEnd}) // must not panic
+}
+
+// TestRegistryConcurrentRegistration: batch workers open their run
+// metrics simultaneously; every goroutine must get the same instrument
+// (this raced before instrument creation moved under the registry
+// lock — the nil-check-then-create ran outside it).
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	counters := make([]*Counter, goroutines)
+	hists := make([]*Histogram, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			counters[g] = r.Counter("shared_total", "shared counter")
+			counters[g].Inc()
+			hists[g] = r.Histogram("shared_seconds", "shared histogram", ExponentialBuckets(1e-6, 4, 4))
+			hists[g].Observe(0.5)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if counters[g] != counters[0] || hists[g] != hists[0] {
+			t.Fatalf("goroutine %d got a different instrument", g)
+		}
+	}
+	if got := counters[0].Value(); got != goroutines {
+		t.Fatalf("counter %d, want %d", got, goroutines)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -25,6 +26,32 @@ func (m MultiSink) Emit(e Event) {
 	for _, s := range m {
 		s.Emit(e)
 	}
+}
+
+// --- SyncSink -----------------------------------------------------------
+
+// SyncSink makes any sink safe for concurrent emitters by serialising
+// Emit calls behind a mutex. The parallel batch runtime wraps shared
+// sinks (a Progress feed, a JSONL file) in one SyncSink so events from
+// concurrently running jobs interleave whole, not torn — note the
+// event *streams* of different jobs still interleave, so stateful
+// renderers see steps of several runs mixed together.
+type SyncSink struct {
+	mu sync.Mutex
+	s  Sink
+}
+
+// NewSyncSink wraps s; a nil s yields a sink that drops everything.
+func NewSyncSink(s Sink) *SyncSink { return &SyncSink{s: s} }
+
+// Emit forwards e to the wrapped sink under the lock.
+func (s *SyncSink) Emit(e Event) {
+	if s.s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.s.Emit(e)
 }
 
 // --- Ring ---------------------------------------------------------------
