@@ -25,11 +25,24 @@
 // Resilience: -timeout bounds the wall-clock time, -max-nodes bounds
 // live DD nodes (combination strategies degrade to sequential replay
 // under the cap unless -no-fallback is set), -checkpoint periodically
-// saves a resumable snapshot that -resume restarts from. Aborted runs
-// print a partial-progress report and exit with a distinct status:
+// saves a resumable snapshot that -resume restarts from.
+//
+// Verification: -verify-every N audits the engine and state DD every N
+// gates (structural invariants, weight canonicality, norm drift,
+// unitarity of accumulated matrices); -paranoid additionally compares
+// every verified state against a dense reference simulation (≤ 24
+// qubits). Detected corruption triggers an automatic repair — the
+// state is rebuilt into a fresh engine from the last verified snapshot
+// and the gap replayed — reported in the "repairs" output line.
+// Unrepairable corruption exits with status 7. -fsck checks a
+// checkpoint file (format, per-section CRC32, state DD audit, norm)
+// without simulating.
+//
+// Aborted runs print a partial-progress report and exit with a
+// distinct status:
 //
 //	0 success   2 usage      4 node budget exceeded   6 internal panic
-//	1 error     3 timeout    5 canceled
+//	1 error     3 timeout    5 canceled                7 state corruption
 package main
 
 import (
@@ -80,9 +93,17 @@ func main() {
 		ckptPath   = flag.String("checkpoint", "", "save a resumable checkpoint to this file (periodically and on abort)")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "gates between periodic checkpoints (0 = checkpoint only on abort)")
 		resume     = flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
+
+		verifyEvery = flag.Int("verify-every", 0, "run integrity verification every N applied gates (0 = off)")
+		paranoid    = flag.Bool("paranoid", false, "lockstep-compare every verified state against a dense reference simulation (≤ 24 qubits)")
+		fsck        = flag.String("fsck", "", "verify a checkpoint file (format, CRCs, state DD audit) and exit")
 	)
 	flag.Parse()
 
+	if *fsck != "" {
+		runFsck(*fsck)
+		return
+	}
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "ddsim: -file is required")
 		flag.Usage()
@@ -115,6 +136,8 @@ func main() {
 		MaxNodes:        *maxNodes,
 		DisableFallback: *noFallback,
 		Seed:            *seed,
+		VerifyEvery:     *verifyEvery,
+		Paranoid:        *paranoid,
 	}
 	if *timeout > 0 {
 		baseOpt.Deadline = time.Now().Add(*timeout)
@@ -160,23 +183,37 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Recorded checkpoint settings win unless the matching flag was
+		// given explicitly on this invocation: -seed overrides the
+		// recorded seed, -strategy overrides the recorded strategy.
+		seedSet, strategySet := false, false
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed":
+				seedSet = true
+			case "strategy":
+				strategySet = true
+			}
+		})
+		if strategySet {
+			ck.Strategy = "" // deliberate override; skip the mismatch check
+		} else {
+			runOpt.Strategy = nil // adopt the recorded strategy
+		}
 		runOpt, err = core.ResumeOptions(runOpt, c, ck)
 		if err != nil {
 			fatal(err)
 		}
-		// The checkpoint's recorded seed wins unless -seed was given
-		// explicitly on this invocation.
-		seedSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "seed" {
-				seedSet = true
-			}
-		})
+		if runOpt.Strategy != nil {
+			st = runOpt.Strategy
+		} else {
+			runOpt.Strategy = st
+		}
 		if !seedSet {
 			*seed = ck.Seed
 		}
-		fmt.Printf("resumed:        %s at gate %d of %d (seed %d)\n",
-			*resume, ck.NextGate, c.GateCount(), *seed)
+		fmt.Printf("resumed:        %s at gate %d of %d (seed %d, strategy %s, format v%d)\n",
+			*resume, ck.NextGate, c.GateCount(), *seed, st.Name(), ck.Version)
 	}
 	if *ckptPath != "" {
 		runOpt.CheckpointEvery = *ckptEvery
@@ -212,6 +249,11 @@ func main() {
 	if res.Fallbacks > 0 {
 		fmt.Printf("fallbacks:      %d (gate runs replayed sequentially under -max-nodes %d)\n",
 			res.Fallbacks, *maxNodes)
+	}
+	if *verifyEvery > 0 || *paranoid {
+		fmt.Printf("verification:   drift %.2e, %d repair(s)\n", res.NormDrift, res.Repairs)
+	} else if res.Repairs > 0 {
+		fmt.Printf("repairs:        %d (state rebuilt and replayed after corruption)\n", res.Repairs)
 	}
 	fmt.Printf("state DD size:  %d nodes\n", res.Engine.SizeV(res.State))
 	fmt.Printf("norm:           %.9f\n", res.State.Norm())
@@ -298,7 +340,8 @@ func hasDynamicOps(text string) bool {
 
 // reportFailure prints a partial-progress report for an aborted run and
 // exits with a status distinguishing the failure class (3 deadline,
-// 4 budget, 5 canceled, 6 recovered panic / injected fault).
+// 4 budget, 5 canceled, 6 recovered panic / injected fault,
+// 7 unrepairable state corruption).
 func reportFailure(res *core.Result, c *circuit.Circuit, err error, ckptPath string) {
 	var re *core.RunError
 	if !errors.As(err, &re) {
@@ -325,9 +368,37 @@ func reportFailure(res *core.Result, c *circuit.Circuit, err error, ckptPath str
 		os.Exit(4)
 	case core.FailureCanceled:
 		os.Exit(5)
+	case core.FailureCorruption:
+		os.Exit(7)
 	default:
 		os.Exit(6)
 	}
+}
+
+// runFsck verifies a checkpoint file and exits: 0 when sound, 7 when
+// corrupt (bad magic, CRC mismatch, truncation, failed state audit),
+// 1 for other errors (e.g. the file does not exist).
+func runFsck(path string) {
+	rep, err := core.VerifyCheckpoint(path)
+	if rep != nil {
+		fmt.Printf("checkpoint:     %s (format v%d)\n", path, rep.Version)
+		fmt.Printf("circuit:        %s (%d qubits, resumes at gate %d)\n",
+			rep.CircuitName, rep.NQubits, rep.NextGate)
+		if rep.Strategy != "" {
+			fmt.Printf("strategy:       %s\n", rep.Strategy)
+		}
+		fmt.Printf("seed:           %d (%d fallbacks, %d repairs)\n",
+			rep.Seed, rep.Fallbacks, rep.Repairs)
+		fmt.Printf("state:          %d DD nodes, norm %.9f\n", rep.StateNodes, rep.Norm)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddsim: fsck:", err)
+		if errors.Is(err, core.ErrCheckpointCorrupt) {
+			os.Exit(7)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("fsck:           ok")
 }
 
 // runDynamic executes a dynamic OpenQASM program shot by shot —

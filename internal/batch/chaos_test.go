@@ -16,6 +16,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dd"
+	"repro/internal/verify"
 )
 
 // referenceAmps computes the serial single-run state for c.
@@ -44,7 +45,7 @@ func assertExactAmps(t *testing.T, job int, res *core.Result, want []complex128)
 func TestChaosInjectedAbortIsolatedToWorker(t *testing.T) {
 	t.Setenv("DD_CHAOS", "1")
 	rng := rand.New(rand.NewSource(7))
-	c := randomCircuit(rng, 5, 60)
+	c := verify.RandomCircuit(rng, 5, 60)
 	want := referenceAmps(t, c)
 
 	const jobs, victim = 6, 2
@@ -90,8 +91,8 @@ func TestChaosFailFastInjectionCancelsSiblings(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	// Sibling circuits are deliberately heavy (~ms) so the cancellation
 	// deterministically outruns the queue.
-	victim := randomCircuit(rng, 5, 40)
-	heavy := randomCircuit(rng, 10, 150)
+	victim := verify.RandomCircuit(rng, 5, 40)
+	heavy := verify.RandomCircuit(rng, 10, 150)
 
 	const jobs = 16
 	bjobs := make([]core.BatchJob, jobs)
@@ -141,7 +142,7 @@ func TestChaosFailFastInjectionCancelsSiblings(t *testing.T) {
 // guarantee — a real budget exhaustion, not an injected one.
 func TestBatchBudgetTripIsolated(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
-	c := randomCircuit(rng, 6, 60)
+	c := verify.RandomCircuit(rng, 6, 60)
 	want := referenceAmps(t, c)
 
 	const jobs, victim = 5, 1

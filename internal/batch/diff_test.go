@@ -10,7 +10,6 @@ package batch_test
 
 import (
 	"context"
-	"math"
 	"math/rand"
 	"testing"
 
@@ -19,59 +18,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/dd"
 	"repro/internal/dense"
+	"repro/internal/verify"
 )
 
-// randomCircuit mirrors the crossval generator (test packages cannot be
-// imported): the full gate vocabulary over n qubits.
-func randomCircuit(rng *rand.Rand, n, length int) *circuit.Circuit {
-	c := circuit.New(n)
-	for i := 0; i < length; i++ {
-		q := rng.Intn(n)
-		p := (q + 1 + rng.Intn(n-1)) % n
-		switch rng.Intn(12) {
-		case 0:
-			c.H(q)
-		case 1:
-			c.X(q)
-		case 2:
-			c.T(q)
-		case 3:
-			c.Sdg(q)
-		case 4:
-			c.SX(q)
-		case 5:
-			c.P(rng.Float64()*2*math.Pi-math.Pi, q)
-		case 6:
-			c.RY(rng.Float64()*math.Pi, q)
-		case 7:
-			c.U(rng.Float64(), rng.Float64(), rng.Float64(), q)
-		case 8:
-			c.CX(q, p)
-		case 9:
-			c.CZ(q, p)
-		case 10:
-			c.CP(rng.Float64()*math.Pi, q, p)
-		default:
-			if n >= 3 {
-				r := (p + 1 + rng.Intn(n-2)) % n
-				if r != q && r != p {
-					c.CCX(q, p, r)
-					continue
-				}
-			}
-			c.H(q)
-		}
-	}
-	return c
-}
-
-func fidelity(a []complex128, b *dense.State) float64 {
-	var ip complex128
-	for i := range a {
-		ip += complex(real(b.Amps[i]), -imag(b.Amps[i])) * a[i]
-	}
-	return cnum.Abs2(ip)
-}
 
 // comparableStats strips the wall-clock fields (GC pause times) that
 // legitimately vary between runs; every remaining counter must be
@@ -99,7 +48,7 @@ func TestBatchMatchesSerial(t *testing.T) {
 	jobs := make([]core.BatchJob, trials)
 	for i := range runs {
 		n := 2 + rng.Intn(5)
-		c := randomCircuit(rng, n, 20+rng.Intn(20))
+		c := verify.RandomCircuit(rng, n, 20+rng.Intn(20))
 		var st core.Strategy
 		switch i % 3 {
 		case 0:
@@ -119,7 +68,7 @@ func TestBatchMatchesSerial(t *testing.T) {
 
 		// Dense oracle cross-check on the serial reference itself, so a
 		// batch/serial match cannot hide an agreed-upon wrong answer.
-		if f := fidelity(runs[i].amps, dense.Simulate(c)); f < 1-1e-9 {
+		if f := verify.Fidelity(runs[i].amps, dense.Simulate(c)); f < 1-1e-9 {
 			t.Fatalf("serial run %d disagrees with dense oracle: fidelity %v", i, f)
 		}
 	}
@@ -165,7 +114,7 @@ func TestAllStrategiesBatchProperty(t *testing.T) {
 	const circuits = 50
 	for trial := 0; trial < circuits; trial++ {
 		n := 2 + rng.Intn(4)
-		c := randomCircuit(rng, n, 20+rng.Intn(20))
+		c := verify.RandomCircuit(rng, n, 20+rng.Intn(20))
 		ref, err := core.Run(c, core.Options{Strategy: core.Sequential{}})
 		if err != nil {
 			t.Fatalf("trial %d: sequential reference: %v", trial, err)

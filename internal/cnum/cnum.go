@@ -178,6 +178,37 @@ func (t *Table) grow() {
 	}
 }
 
+// Canonical reports whether c is exactly a value Lookup could have
+// returned: one of the exact zero/one short-circuits, or bit-identical
+// to a stored representative. Unlike Lookup it never inserts, which
+// makes it safe for integrity audits of a live table — every edge
+// weight a DD engine stores went through Lookup, so a weight for which
+// Canonical is false has been corrupted after canonicalisation.
+func (t *Table) Canonical(c complex128) bool {
+	if c == Zero || c == One {
+		return true
+	}
+	// A value within tolerance of zero/one but not bit-equal can never
+	// come out of Lookup (the short-circuits fire first).
+	if IsZero(c) || Eq(c, One) {
+		return false
+	}
+	if t.slots == nil {
+		return false
+	}
+	// Bit-identity implies the same quantisation key, so only the exact
+	// cell needs probing (Lookup's 3×3 neighbourhood scan is for
+	// tolerance matches of *different* bit patterns).
+	k := KeyOf(c)
+	mask := uint32(len(t.slots) - 1)
+	for i := hashKey(k) & mask; t.slots[i].used; i = (i + 1) & mask {
+		if t.slots[i].key == k && t.slots[i].rep == c {
+			return true
+		}
+	}
+	return false
+}
+
 // Size returns the number of distinct representatives stored.
 func (t *Table) Size() int { return t.count }
 

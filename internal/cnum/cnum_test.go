@@ -189,3 +189,31 @@ func BenchmarkTableLookupMiss(b *testing.B) {
 		tbl.Lookup(complex(float64(i)*1e-3, 0))
 	}
 }
+
+// TestCanonical exercises the read-only canonicality probe used by the
+// integrity audit: exact sentinels pass, interned representatives pass,
+// near-misses within tolerance (but not bit-identical) fail, and
+// probing never interns.
+func TestCanonical(t *testing.T) {
+	var tbl Table
+	if !tbl.Canonical(Zero) || !tbl.Canonical(One) {
+		t.Fatal("exact sentinels rejected")
+	}
+	a := complex(1/math.Sqrt2, 0)
+	if tbl.Canonical(a) {
+		t.Fatal("un-interned value accepted")
+	}
+	rep := tbl.Lookup(a)
+	if !tbl.Canonical(rep) {
+		t.Fatal("interned representative rejected")
+	}
+	near := rep + complex(Tol/5, 0)
+	if tbl.Canonical(near) {
+		t.Fatal("near-miss within tolerance accepted (not bit-identical)")
+	}
+	size := tbl.Size()
+	tbl.Canonical(complex(0.123, 0.456))
+	if tbl.Size() != size {
+		t.Fatal("Canonical interned a value")
+	}
+}

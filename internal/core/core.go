@@ -193,6 +193,21 @@ type Options struct {
 	// node-size distributions, multiplication / cache / GC counters)
 	// into the registry. Sharing one registry across runs aggregates.
 	Metrics *obs.Registry
+	// VerifyEvery enables integrity verification every N absorbed gates
+	// (plus a final pass): engine audit, state audit with node paths,
+	// norm-drift tracking, and a unitarity spot-check of the accumulated
+	// operation matrix. On a failed check the runner rebuilds the state
+	// into a fresh engine from the last verified snapshot and replays
+	// the in-flight gates (bounded; see Result.Repairs); corruption that
+	// survives repair fails the run with a *RunError wrapping
+	// ErrCorruption. Zero disables verification; the hot path then
+	// carries no verification cost at all.
+	VerifyEvery int
+	// Paranoid additionally runs a dense lockstep oracle and compares
+	// amplitudes at every verification pass. Limited to small circuits
+	// (dense simulation is exactly what does not scale); implies
+	// VerifyEvery=1 unless set explicitly.
+	Paranoid bool
 }
 
 const defaultGCThreshold = 200_000
@@ -209,6 +224,9 @@ var (
 	ErrCanceled = errors.New("core: simulation canceled")
 	// ErrInjectedAbort reports a synthetic fault-injection abort.
 	ErrInjectedAbort = errors.New("core: injected abort")
+	// ErrCorruption reports that integrity verification detected state
+	// or engine corruption that could not be repaired.
+	ErrCorruption = errors.New("core: state corruption detected")
 )
 
 // FailureKind classifies a *RunError.
@@ -226,6 +244,9 @@ const (
 	// FailurePanic: a panic escaped the engine (or a strategy callback)
 	// and was recovered into a typed error.
 	FailurePanic
+	// FailureCorruption: integrity verification (Options.VerifyEvery /
+	// Paranoid) detected corruption that repair could not clear.
+	FailureCorruption
 )
 
 // String returns the kind's short name (also used for CLI exit-status
@@ -242,6 +263,8 @@ func (k FailureKind) String() string {
 		return "injected"
 	case FailurePanic:
 		return "panic"
+	case FailureCorruption:
+		return "corruption"
 	}
 	return fmt.Sprintf("FailureKind(%d)", uint8(k))
 }
@@ -304,6 +327,13 @@ type Result struct {
 	GatesApplied int
 	// Fallbacks counts budget aborts that degraded to sequential replay.
 	Fallbacks int
+	// Repairs counts corruption recoveries: verification failures that
+	// were cleared by rebuilding the state into a fresh engine and
+	// replaying the in-flight gates (see Options.VerifyEvery).
+	Repairs int
+	// NormDrift is the largest |norm − 1| the verification passes
+	// observed (zero when verification was disabled).
+	NormDrift float64
 	Trace     []TracePoint
 }
 
@@ -358,33 +388,41 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ver, verr := newVerifier(c, opt)
+	if verr != nil {
+		return nil, verr
+	}
 	ro := newRunObserver(opt, eng)
 	r := &runner{
-		eng:      eng,
-		c:        c,
-		opt:      opt,
-		ctx:      ctx,
-		obs:      ro,
-		v:        v,
-		next:     opt.StartGate,
-		applied:  opt.StartGate,
-		lastCkpt: opt.StartGate,
-		stateSz:  -1,
+		eng:       eng,
+		c:         c,
+		opt:       opt,
+		ctx:       ctx,
+		obs:       ro,
+		ver:       ver,
+		v:         v,
+		next:      opt.StartGate,
+		applied:   opt.StartGate,
+		lastCkpt:  opt.StartGate,
+		stateSz:   -1,
+		statsBase: statsBefore,
 	}
 	if ro != nil {
 		eng.SetObserver(ro)
-		defer eng.SetObserver(nil)
+		defer func() { r.eng.SetObserver(nil) }()
 		ro.runStart(c, opt.StartGate)
 	}
 	// Arm the engine-level abort layer too: a single multiplication on
-	// huge diagrams can outlive many per-gate checks.
+	// huge diagrams can outlive many per-gate checks. The deferred
+	// disarm reads r.eng, not eng — a corruption repair may have swapped
+	// the engine mid-run.
 	eng.SetDeadline(opt.Deadline)
 	eng.SetBudget(opt.MaxNodes)
 	eng.SetContext(ctx)
 	defer func() {
-		eng.SetDeadline(time.Time{})
-		eng.SetBudget(0)
-		eng.SetContext(nil)
+		r.eng.SetDeadline(time.Time{})
+		r.eng.SetBudget(0)
+		r.eng.SetContext(nil)
 	}()
 	err := r.runRecovering()
 	if err != nil && opt.OnCheckpoint != nil {
@@ -398,22 +436,30 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 		}
 	}
 
-	statsAfter := eng.Stats()
+	// Engine swaps fold retired-engine counters into r.carried; the run
+	// delta is carried plus the current engine's growth, and Result.Stats
+	// stays cumulative relative to the pre-run snapshot (bit-identical to
+	// the current engine's own stats when no swap happened).
+	runDelta := statsSum(r.carried, statsDelta(r.eng.Stats(), r.statsBase))
 	res := &Result{
 		State:        r.v,
-		Engine:       eng,
-		Stats:        statsAfter,
+		Engine:       r.eng,
+		Stats:        statsSum(statsBefore, runDelta),
 		Duration:     time.Since(start),
-		MatVecSteps:  int(statsAfter.MatVecMuls - statsBefore.MatVecMuls),
-		MatMatSteps:  int(statsAfter.MatMatMuls - statsBefore.MatMatMuls),
+		MatVecSteps:  int(runDelta.MatVecMuls),
+		MatMatSteps:  int(runDelta.MatMatMuls),
 		GatesApplied: r.applied,
 		Fallbacks:    r.fallbacks,
+	}
+	if ver != nil {
+		res.Repairs = ver.repairs
+		res.NormDrift = ver.maxDrift
 	}
 	if ro != nil {
 		res.Trace = ro.trace
 		sz := r.stateSz
 		if sz < 0 {
-			sz = eng.SizeV(r.v)
+			sz = r.eng.SizeV(r.v)
 		}
 		ro.finish(r.applied, sz, r.fallbacks, err)
 	}
@@ -451,6 +497,15 @@ type runner struct {
 
 	// blockMat keeps combined block matrices alive across GC.
 	blockMats []dd.MEdge
+
+	// ver is the integrity-verification state (nil unless the run asked
+	// for VerifyEvery/Paranoid); see verify.go.
+	ver *verifier
+	// carried accumulates the counter contributions of engines retired
+	// by corruption repairs; statsBase is the current engine's snapshot
+	// at the point this run started using it.
+	carried   dd.Stats
+	statsBase dd.Stats
 }
 
 // runRecovering is the outermost backstop: any panic not already
@@ -474,15 +529,23 @@ func (r *runner) run() error {
 		}
 		if b, ok := blocks[r.next]; ok && r.opt.UseBlocks {
 			if err := r.flush(r.next); err != nil {
-				return err
+				if err = r.maybeRepairOnPanic(err); err != nil {
+					return err
+				}
+				continue
 			}
 			if err := r.runBlock(b); err != nil {
-				return err
+				if err = r.maybeRepairOnPanic(err); err != nil {
+					return err
+				}
 			}
 			continue
 		}
 		if err := r.absorbNext(); err != nil {
-			return err
+			if err = r.maybeRepairOnPanic(err); err != nil {
+				return err
+			}
+			continue
 		}
 		opSz := -1
 		opSize := func() int {
@@ -499,15 +562,31 @@ func (r *runner) run() error {
 		}
 		if r.accValid && r.opt.Strategy.ShouldApply(r.combined, opSize, stateSize) {
 			if err := r.flush(r.next); err != nil {
-				return err
+				if err = r.maybeRepairOnPanic(err); err != nil {
+					return err
+				}
+				continue
 			}
 		}
 		r.maybeGC()
 		if err := r.maybeCheckpoint(); err != nil {
 			return err
 		}
+		if err := r.maybeVerify(false); err != nil {
+			return err
+		}
 	}
-	return r.flush(len(r.c.Gates))
+	if err := r.flush(len(r.c.Gates)); err != nil {
+		if err = r.maybeRepairOnPanic(err); err != nil {
+			return err
+		}
+		// The repair replayed through the last applied gate; the final
+		// flush target may still be ahead, so re-run the tail.
+		if r.next < len(r.c.Gates) {
+			return r.run()
+		}
+	}
+	return r.maybeVerify(true)
 }
 
 // absorbNext multiplies the next gate onto the accumulated operation
@@ -649,7 +728,13 @@ func (r *runner) runBlock(b circuit.Block) error {
 		return nil
 	}
 	r.blockMats = append(r.blockMats, mat)
-	popBlockMat := func() { r.blockMats = r.blockMats[:len(r.blockMats)-1] }
+	// A corruption repair inside the loop swaps the engine and nils
+	// blockMats, so the pop must tolerate an already-empty stack.
+	popBlockMat := func() {
+		if n := len(r.blockMats); n > 0 {
+			r.blockMats = r.blockMats[:n-1]
+		}
+	}
 	for i := 0; i < b.Repeat; i++ {
 		if err := r.checkAbort(); err != nil {
 			popBlockMat()
@@ -671,6 +756,18 @@ func (r *runner) runBlock(b circuit.Block) error {
 		if err := r.maybeCheckpoint(); err != nil {
 			popBlockMat()
 			return err
+		}
+		engBefore := r.eng
+		if err := r.maybeVerify(false); err != nil {
+			popBlockMat()
+			return err
+		}
+		if r.eng != engBefore {
+			// A repair rebuilt the state on a fresh engine; the combined
+			// block matrix died with the old one. Hand the block's
+			// remaining gates back to the main loop (gate-at-a-time).
+			r.next = r.applied
+			return nil
 		}
 	}
 	popBlockMat()
@@ -731,12 +828,18 @@ func (r *runner) checkAbort() error {
 
 // checkpoint snapshots the current consistent state for resume.
 func (r *runner) checkpoint() *Checkpoint {
+	repairs := 0
+	if r.ver != nil {
+		repairs = r.ver.repairs
+	}
 	return &Checkpoint{
 		CircuitName: r.c.Name,
 		NQubits:     r.c.NQubits,
 		NextGate:    r.applied,
 		Seed:        r.opt.Seed,
 		Fallbacks:   r.fallbacks,
+		Strategy:    r.opt.Strategy.Name(),
+		Repairs:     repairs,
 		State:       r.v,
 	}
 }

@@ -30,6 +30,10 @@ type runObserver struct {
 
 	startStats dd.Stats // engine snapshot at run start (run totals)
 	prev       dd.Stats // snapshot at the previous step boundary (deltas)
+	// carried holds counter contributions of engines retired by
+	// corruption repairs, so run_end totals span all engines the run
+	// touched.
+	carried dd.Stats
 }
 
 // runMetrics holds the instruments a run updates. Names are stable API
@@ -42,6 +46,9 @@ type runMetrics struct {
 	nodesCreated             *obs.Counter
 	gcs, fallbacks, aborts   *obs.Counter
 	checkpoints              *obs.Counter
+	verifications            *obs.Counter
+	verifyFailures           *obs.Counter
+	repairs                  *obs.Counter
 	liveNodes                *obs.Gauge
 	stepSeconds, gcPauseSecs *obs.Histogram
 	stateNodes, opNodes      *obs.Histogram
@@ -63,6 +70,9 @@ func newRunMetrics(r *obs.Registry) *runMetrics {
 		fallbacks:          r.Counter("dd_fallbacks_total", "Budget aborts degraded to sequential replay."),
 		aborts:             r.Counter("dd_aborts_total", "Runs aborted (deadline, budget, cancellation, injection, panic)."),
 		checkpoints:        r.Counter("dd_checkpoints_total", "Checkpoints handed to the caller."),
+		verifications:      r.Counter("dd_verifications_total", "Integrity verification passes."),
+		verifyFailures:     r.Counter("dd_verify_failures_total", "Verification passes that detected corruption."),
+		repairs:            r.Counter("dd_repairs_total", "Corruption recoveries (state rebuilt and replayed)."),
 		liveNodes:          r.Gauge("dd_live_nodes", "Live nodes in the unique tables (vector + matrix)."),
 		stepSeconds:        r.Histogram("dd_step_seconds", "Wall time per applied operation.", latBuckets),
 		gcPauseSecs:        r.Histogram("dd_gc_pause_seconds", "Engine GC pause durations.", gcBuckets),
@@ -186,6 +196,37 @@ func (o *runObserver) checkpointEv(gate int) {
 	o.emit(obs.Event{Kind: obs.KindCheckpoint, Gate: gate})
 }
 
+// verifyEv records one verification pass; check names the failing
+// check, empty when the pass was clean.
+func (o *runObserver) verifyEv(gate int, check string) {
+	if o.met != nil {
+		o.met.verifications.Inc()
+		if check != "" {
+			o.met.verifyFailures.Inc()
+		}
+	}
+	o.emit(obs.Event{Kind: obs.KindVerify, Gate: gate, Check: check})
+}
+
+// repairEv records a corruption recovery; replayed is the number of
+// gates re-applied on the fresh engine.
+func (o *runObserver) repairEv(gate, replayed int, check string) {
+	if o.met != nil {
+		o.met.repairs.Inc()
+	}
+	o.emit(obs.Event{Kind: obs.KindRepair, Gate: gate, Combined: replayed, Check: check})
+}
+
+// engineSwapped re-points the observer at the fresh engine after a
+// corruption repair, folding the retired engine's counters into the
+// carried totals so run_end still reports the whole run.
+func (o *runObserver) engineSwapped(old dd.Stats, fresh *dd.Engine) {
+	o.carried = statsSum(o.carried, statsDelta(old, o.startStats))
+	o.eng = fresh
+	o.startStats = dd.Stats{} // fresh engines count from zero
+	o.prev = dd.Stats{}
+}
+
 // finish emits the abort event (for failed runs) and the closing
 // run_end event carrying the run totals.
 func (o *runObserver) finish(applied, stateNodes, fallbacks int, err error) {
@@ -198,7 +239,7 @@ func (o *runObserver) finish(applied, stateNodes, fallbacks int, err error) {
 		}
 		o.emit(obs.Event{Kind: obs.KindAbort, Gate: re.GateIndex, Abort: abort})
 	}
-	cur := o.eng.Stats()
+	totals := statsSum(o.carried, statsDelta(o.eng.Stats(), o.startStats))
 	o.emit(obs.Event{
 		Kind:         obs.KindRunEnd,
 		Gate:         applied,
@@ -206,14 +247,14 @@ func (o *runObserver) finish(applied, stateNodes, fallbacks int, err error) {
 		TotalGates:   o.total,
 		WallNS:       time.Since(o.started).Nanoseconds(),
 		StateNodes:   stateNodes,
-		MatVecMuls:   cur.MatVecMuls - o.startStats.MatVecMuls,
-		MatMatMuls:   cur.MatMatMuls - o.startStats.MatMatMuls,
-		CacheLookups: cur.CacheLookups - o.startStats.CacheLookups,
-		CacheHits:    cur.CacheHits - o.startStats.CacheHits,
-		NodesCreated: cur.NodesCreated - o.startStats.NodesCreated,
-		GCs:          cur.GCs - o.startStats.GCs,
-		GCPauseNS:    (cur.GCPause - o.startStats.GCPause).Nanoseconds(),
-		PeakNodes:    cur.PeakVNodes + cur.PeakMNodes,
+		MatVecMuls:   totals.MatVecMuls,
+		MatMatMuls:   totals.MatMatMuls,
+		CacheLookups: totals.CacheLookups,
+		CacheHits:    totals.CacheHits,
+		NodesCreated: totals.NodesCreated,
+		GCs:          totals.GCs,
+		GCPauseNS:    totals.GCPause.Nanoseconds(),
+		PeakNodes:    totals.PeakVNodes + totals.PeakMNodes,
 		Fallbacks:    fallbacks,
 		Abort:        abort,
 	})

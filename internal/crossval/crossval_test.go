@@ -22,59 +22,9 @@ import (
 	"repro/internal/opt"
 	"repro/internal/qasm"
 	"repro/internal/realfmt"
+	"repro/internal/verify"
 )
 
-// randomCircuit draws from the full gate vocabulary the text format and
-// the QASM exporter both support.
-func randomCircuit(rng *rand.Rand, n, length int) *circuit.Circuit {
-	c := circuit.New(n)
-	for i := 0; i < length; i++ {
-		q := rng.Intn(n)
-		p := (q + 1 + rng.Intn(n-1)) % n
-		switch rng.Intn(12) {
-		case 0:
-			c.H(q)
-		case 1:
-			c.X(q)
-		case 2:
-			c.T(q)
-		case 3:
-			c.Sdg(q)
-		case 4:
-			c.SX(q)
-		case 5:
-			c.P(rng.Float64()*2*math.Pi-math.Pi, q)
-		case 6:
-			c.RY(rng.Float64()*math.Pi, q)
-		case 7:
-			c.U(rng.Float64(), rng.Float64(), rng.Float64(), q)
-		case 8:
-			c.CX(q, p)
-		case 9:
-			c.CZ(q, p)
-		case 10:
-			c.CP(rng.Float64()*math.Pi, q, p)
-		default:
-			if n >= 3 {
-				r := (p + 1 + rng.Intn(n-2)) % n
-				if r != q && r != p {
-					c.CCX(q, p, r)
-					continue
-				}
-			}
-			c.H(q)
-		}
-	}
-	return c
-}
-
-func fidelity(a []complex128, b *dense.State) float64 {
-	var ip complex128
-	for i := range a {
-		ip += complex(real(b.Amps[i]), -imag(b.Amps[i])) * a[i]
-	}
-	return cnum.Abs2(ip)
-}
 
 // TestEverythingAgreesOnRandomCircuits is the grand differential test:
 // for each random circuit, all simulation strategies, the optimised
@@ -84,7 +34,7 @@ func TestEverythingAgreesOnRandomCircuits(t *testing.T) {
 	rng := rand.New(rand.NewSource(2026))
 	for trial := 0; trial < 12; trial++ {
 		n := 2 + rng.Intn(5)
-		c := randomCircuit(rng, n, 25+rng.Intn(25))
+		c := verify.RandomCircuit(rng, n, 25+rng.Intn(25))
 		oracle := dense.Simulate(c)
 
 		strategies := []core.Strategy{
@@ -101,7 +51,7 @@ func TestEverythingAgreesOnRandomCircuits(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, st.Name(), err)
 			}
-			if f := fidelity(res.State.ToVector(), oracle); f < 1-1e-9 {
+			if f := verify.Fidelity(res.State.ToVector(), oracle); f < 1-1e-9 {
 				t.Fatalf("trial %d %s: fidelity %v", trial, st.Name(), f)
 			}
 			lastState, lastEng = res.State, res.Engine
@@ -146,7 +96,7 @@ func TestEverythingAgreesOnRandomCircuits(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: deserialise: %v", trial, err)
 		}
-		if f := fidelity(restored.ToVector(), oracle); f < 1-1e-9 {
+		if f := verify.Fidelity(restored.ToVector(), oracle); f < 1-1e-9 {
 			t.Fatalf("trial %d: serialisation fidelity %v", trial, f)
 		}
 

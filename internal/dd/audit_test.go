@@ -1,0 +1,339 @@
+package dd
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cnum"
+)
+
+// ghzState builds a GHZ-like entangled state exercising several levels.
+func ghzState(e *Engine, n int) VEdge {
+	v := e.MulVec(e.GateDD(gH, n, n-1, nil), e.ZeroState(n))
+	for q := n - 2; q >= 0; q-- {
+		v = e.MulVec(e.GateDD(gX, n, q, []Control{Pos(q + 1)}), v)
+	}
+	return v
+}
+
+// TestAuditCleanEngine verifies that a healthy engine passes the full
+// audit at every stage of a simulation, including after GC.
+func TestAuditCleanEngine(t *testing.T) {
+	e := New()
+	if err := e.Audit(); err != nil {
+		t.Fatalf("fresh engine: %v", err)
+	}
+	v := ghzState(e, 5)
+	if err := e.Audit(); err != nil {
+		t.Fatalf("after GHZ build: %v", err)
+	}
+	if err := e.AuditV(v); err != nil {
+		t.Fatalf("state audit: %v", err)
+	}
+	g1 := e.GateDD(gH, 5, 2, nil)
+	g2 := e.GateDD(gT, 5, 0, nil)
+	prod := e.MulMat(g2, g1)
+	if err := e.AuditM(prod); err != nil {
+		t.Fatalf("matrix audit: %v", err)
+	}
+	v = e.MulVec(prod, v)
+	e.GarbageCollect([]VEdge{v}, nil)
+	if err := e.Audit(); err != nil {
+		t.Fatalf("after GC: %v", err)
+	}
+	if err := e.AuditV(v); err != nil {
+		t.Fatalf("state audit after GC: %v", err)
+	}
+}
+
+// TestAuditDetectsWeightMutation flips a mantissa bit on a live node's
+// edge weight directly and checks both the whole-table audit and the
+// reachable-state audit report it with a node path.
+func TestAuditDetectsWeightMutation(t *testing.T) {
+	e := New()
+	v := ghzState(e, 4)
+	n := v.N // root node of the state diagram
+	orig := n.E[0].W
+	n.E[0].W = flipWeight(orig)
+	defer func() { n.E[0].W = orig }()
+
+	err := e.Audit()
+	if err == nil {
+		t.Fatal("Audit missed a mutated edge weight")
+	}
+	ie, ok := err.(*IntegrityError)
+	if !ok {
+		t.Fatalf("want *IntegrityError, got %T: %v", err, err)
+	}
+	// A flipped mantissa bit breaks either canonicality or the stored
+	// hash, depending on iteration order.
+	if ie.Check != "weight-canonical" && ie.Check != "hash" && ie.Check != "normalization" {
+		t.Fatalf("unexpected check %q: %v", ie.Check, err)
+	}
+
+	verr := e.AuditV(v)
+	if verr == nil {
+		t.Fatal("AuditV missed a mutated edge weight")
+	}
+	if vie := verr.(*IntegrityError); vie.Path == "" {
+		t.Fatalf("AuditV error carries no path: %v", verr)
+	}
+}
+
+// TestAuditDetectsChildMutation redirects a child pointer (level skip)
+// and checks detection.
+func TestAuditDetectsChildMutation(t *testing.T) {
+	e := New()
+	v := ghzState(e, 4)
+	n := v.N
+	orig := n.E[0].N
+	n.E[0].N = vTerminal // skips from level 3 straight to the terminal
+	defer func() { n.E[0].N = orig }()
+
+	err := e.AuditV(v)
+	if err == nil {
+		t.Fatal("AuditV missed a level-skipping child pointer")
+	}
+	ie := err.(*IntegrityError)
+	if ie.Check != "level" && ie.Check != "hash" {
+		t.Fatalf("unexpected check %q: %v", ie.Check, err)
+	}
+}
+
+// TestAuditDetectsDanglingNode checks that a reachable node absent from
+// the unique table (freed or never interned) fails the state audit.
+func TestAuditDetectsDanglingNode(t *testing.T) {
+	e := New()
+	v := ghzState(e, 4)
+	// Forge a node that was never interned.
+	rogue := &VNode{V: v.N.V - 1, id: 1}
+	rogue.E[0] = VEdge{W: cnum.One, N: vTerminal}
+	rogue.E[1] = VEdge{W: cnum.Zero, N: vTerminal}
+	// Give it internally consistent fields so only the table check fires.
+	for rogue.V > 0 {
+		child := &VNode{V: rogue.V - 1, id: 1}
+		child.E[0] = VEdge{W: cnum.One, N: vTerminal}
+		child.E[1] = VEdge{W: cnum.Zero, N: vTerminal}
+		child.hash = hashVKey(child.V, child.E[0], child.E[1])
+		rogue.E[0].N = child
+		break
+	}
+	rogue.hash = hashVKey(rogue.V, rogue.E[0], rogue.E[1])
+	orig := v.N.E[0].N
+	v.N.E[0].N = rogue
+	defer func() { v.N.E[0].N = orig }()
+
+	err := e.AuditV(v)
+	if err == nil {
+		t.Fatal("AuditV missed a dangling (never-interned) node")
+	}
+	if ie := err.(*IntegrityError); ie.Check != "unique-table" && ie.Check != "level" && ie.Check != "hash" {
+		t.Fatalf("unexpected check %q: %v", ie.Check, err)
+	}
+}
+
+// TestAuditMNilOnClean guards the typed-nil pitfall: AuditM on a sound
+// matrix must return an interface that compares equal to nil.
+func TestAuditMNilOnClean(t *testing.T) {
+	e := New()
+	m := e.MulMat(e.GateDD(gH, 3, 1, nil), e.GateDD(gX, 3, 0, nil))
+	if err := e.AuditM(m); err != nil {
+		t.Fatalf("AuditM on sound matrix: %v", err)
+	}
+}
+
+// TestCheckNorm exercises the online norm monitor on sound and damaged
+// states.
+func TestCheckNorm(t *testing.T) {
+	e := New()
+	v := ghzState(e, 4)
+	drift, err := CheckNorm(v, 0)
+	if err != nil {
+		t.Fatalf("unit state flagged: %v", err)
+	}
+	if drift > 1e-9 {
+		t.Fatalf("unit state drift %g", drift)
+	}
+	scaled := VEdge{W: v.W * complex(1.1, 0), N: v.N}
+	if _, err := CheckNorm(scaled, 0); err == nil {
+		t.Fatal("scaled state passed the norm check")
+	}
+	if _, err := CheckNorm(scaled, 0.5); err != nil {
+		t.Fatalf("loose tolerance still flagged: %v", err)
+	}
+}
+
+// TestCheckUnitary verifies the trace-based spot-check accepts gate
+// products and rejects a damaged matrix.
+func TestCheckUnitary(t *testing.T) {
+	e := New()
+	m := e.GateDD(gH, 4, 3, nil)
+	for _, g := range []MEdge{
+		e.GateDD(gT, 4, 1, nil),
+		e.GateDD(gX, 4, 0, []Control{Pos(2)}),
+		e.GateDD(gH, 4, 2, nil),
+	} {
+		m = e.MulMat(g, m)
+	}
+	if err := e.CheckUnitary(m, 0); err != nil {
+		t.Fatalf("unitary product flagged: %v", err)
+	}
+	damaged := MEdge{W: m.W * complex(1.01, 0), N: m.N}
+	if err := e.CheckUnitary(damaged, 0); err == nil {
+		t.Fatal("scaled (non-unitary) matrix passed")
+	}
+	// Terminal-only scalar edge.
+	if err := e.CheckUnitary(MOne(), 0); err != nil {
+		t.Fatalf("identity scalar flagged: %v", err)
+	}
+	if err := e.CheckUnitary(MEdge{W: complex(0.5, 0), N: mTerminal}, 0); err == nil {
+		t.Fatal("contracting scalar passed")
+	}
+}
+
+// TestCopyVCrossEngine rebuilds a state into a fresh engine and checks
+// exact amplitude agreement plus a clean audit of the copy.
+func TestCopyVCrossEngine(t *testing.T) {
+	src := New()
+	v := ghzState(src, 5)
+	v = src.MulVec(src.GateDD(gT, 5, 2, nil), v)
+	want := v.ToVector()
+
+	dst := New()
+	cp := dst.CopyV(v)
+	got := cp.ToVector()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("amplitude %d: copy %v, original %v", i, got[i], want[i])
+		}
+	}
+	if err := dst.Audit(); err != nil {
+		t.Fatalf("destination engine audit: %v", err)
+	}
+	if err := dst.AuditV(cp); err != nil {
+		t.Fatalf("copied state audit: %v", err)
+	}
+	if n := dst.SizeV(cp); n != src.SizeV(v) {
+		t.Fatalf("copy has %d nodes, original %d", n, src.SizeV(v))
+	}
+}
+
+// TestCopyVZero covers the degenerate inputs.
+func TestCopyVZero(t *testing.T) {
+	dst := New()
+	if cp := dst.CopyV(VZero()); !cp.IsZero() {
+		t.Fatalf("copy of zero edge: %v", cp)
+	}
+}
+
+// TestBitFlipInjectionDetected arms each fault kind at several interning
+// counts, runs a small circuit, and checks that every injected
+// corruption is caught — by the audit battery, or by a kernel panic on
+// the corrupted structure (which the core runner routes into its repair
+// path the same way). Requires chaos builds.
+func TestBitFlipInjectionDetected(t *testing.T) {
+	t.Setenv("DD_CHAOS", "1")
+	for _, kind := range []FaultKind{FaultWeightFlip, FaultChildFlip} {
+		for _, after := range []uint64{1, 3, 7, 12} {
+			e := New()
+			if !e.InjectBitFlipAfter(after, kind) {
+				t.Skip("fault injection did not arm (chaos disabled)")
+			}
+			var v VEdge
+			panicked := func() (p bool) {
+				defer func() {
+					if recover() != nil {
+						p = true
+					}
+				}()
+				v = ghzState(e, 4)
+				v = e.MulVec(e.GateDD(gT, 4, 1, nil), v)
+				// The countdown may outlast a tiny circuit; extend it.
+				for i := 0; i < 4 && e.Stats().FaultsInjected == 0; i++ {
+					v = e.MulVec(e.GateDD(gH, 4, i, nil), v)
+				}
+				return false
+			}()
+			if e.Stats().FaultsInjected == 0 {
+				t.Fatalf("%v after %d: fault never fired", kind, after)
+			}
+			detected := panicked
+			if !detected {
+				if err := e.Audit(); err != nil {
+					detected = true
+				} else if err := e.AuditV(v); err != nil {
+					detected = true
+				} else if _, err := CheckNorm(v, 0); err != nil {
+					detected = true
+				}
+			}
+			if !detected {
+				t.Errorf("%v after %d internings: corruption undetected by the audit battery", kind, after)
+			}
+		}
+	}
+}
+
+// TestInjectBitFlipDisabled checks the arming gate: without DD_CHAOS the
+// hook must refuse (in default builds).
+func TestInjectBitFlipDisabled(t *testing.T) {
+	t.Setenv("DD_CHAOS", "")
+	e := New()
+	if e.InjectBitFlipAfter(1, FaultWeightFlip) {
+		t.Skip("built with ddchaos: injection is always armed")
+	}
+	_ = ghzState(e, 3)
+	if e.Stats().FaultsInjected != 0 {
+		t.Fatal("fault fired while disarmed")
+	}
+}
+
+// TestFaultKindString pins the diagnostic names.
+func TestFaultKindString(t *testing.T) {
+	if FaultWeightFlip.String() != "weight-flip" || FaultChildFlip.String() != "child-flip" {
+		t.Fatalf("unexpected names %q %q", FaultWeightFlip, FaultChildFlip)
+	}
+	if !strings.Contains(FaultKind(9).String(), "?") {
+		t.Fatalf("unknown kind renders as %q", FaultKind(9))
+	}
+}
+
+// TestHashSignSwapSensitive pins a past blind spot: XOR-then-multiply
+// hashing is linear in the top bit, so swapping two edge weights whose
+// folded words differ only in the sign bit (+1 and -1) used to leave
+// hashMKey unchanged — making the stored-hash audit blind to exactly
+// the child-swap corruption the chaos suite injects. The avalanche
+// shifts in foldW must keep these distinguishable.
+func TestHashSignSwapSensitive(t *testing.T) {
+	a := complex(-0.30366806450359335, 0)
+	es := [4]MEdge{
+		{W: a, N: mTerminal},
+		{W: complex(1, 0), N: mTerminal},
+		{W: complex(-1, 0), N: mTerminal},
+		{W: a, N: mTerminal},
+	}
+	h1 := hashMKey(0, &es)
+	es[1], es[2] = es[2], es[1]
+	if h2 := hashMKey(0, &es); h2 == h1 {
+		t.Fatalf("hashMKey invariant under sign-swapped edge exchange (h=%08x)", h1)
+	}
+	e0 := VEdge{W: complex(1, 0), N: vTerminal}
+	e1 := VEdge{W: complex(-1, 0), N: vTerminal}
+	if hashVKey(0, e0, e1) == hashVKey(0, e1, e0) {
+		t.Fatal("hashVKey invariant under sign-swapped edge exchange")
+	}
+}
+
+// TestFlipWeightChangesValue pins the corruption primitive itself: the
+// flip must change the value by a margin the tolerance cannot absorb.
+func TestFlipWeightChangesValue(t *testing.T) {
+	w := complex(1/math.Sqrt2, 0)
+	f := flipWeight(w)
+	if f == w {
+		t.Fatal("flip is a no-op")
+	}
+	if d := math.Abs(real(f) - real(w)); d < cnum.Tol {
+		t.Fatalf("flip delta %g is inside cnum tolerance", d)
+	}
+}

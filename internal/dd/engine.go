@@ -65,6 +65,13 @@ type Engine struct {
 	// may skip before re-reading the clock; see abortCheck.
 	deadlineSkip uint32
 
+	// Bit-flip fault injection (see faults.go). flipCountdown counts
+	// down on node internings; at zero-crossing the fresh node is
+	// corrupted in place. Zero means disarmed — the hot-path guard is a
+	// single branch, mirroring the abort layer's armed flag.
+	flipCountdown uint64
+	flipKind      FaultKind
+
 	// epoch stamps node marks during SizeV/SizeM traversals and GC
 	// marking, so repeated traversals need no per-call visited set.
 	epoch uint32
@@ -166,6 +173,9 @@ type Stats struct {
 	// Aborts counts cooperative aborts raised by the abort layer
 	// (deadline, cancellation, budget or fault injection; see abort.go).
 	Aborts uint64
+	// FaultsInjected counts bit-flip faults fired by the chaos layer
+	// (see faults.go); always zero outside chaos builds.
+	FaultsInjected uint64
 	// DeadlineClockReads counts actual clock reads by the deadline
 	// probe — far fewer than probes/256 thanks to the skip cache in
 	// abortCheck; tests pin the ratio.
@@ -352,6 +362,11 @@ func (e *Engine) makeVNode(v int32, e0, e1 VEdge) VEdge {
 	e.nextID++
 	e.stats.NodesCreated++
 	e.vUnique.insertAt(slot, n)
+	if e.flipCountdown != 0 {
+		if e.flipCountdown--; e.flipCountdown == 0 {
+			e.flipV(n)
+		}
+	}
 	if e.vUnique.live > e.stats.PeakVNodes {
 		e.stats.PeakVNodes = e.vUnique.live
 	}
@@ -398,6 +413,11 @@ func (e *Engine) makeMNode(v int32, es [4]MEdge) MEdge {
 	e.nextID++
 	e.stats.NodesCreated++
 	e.mUnique.insertAt(slot, n)
+	if e.flipCountdown != 0 {
+		if e.flipCountdown--; e.flipCountdown == 0 {
+			e.flipM(n)
+		}
+	}
 	if e.mUnique.live > e.stats.PeakMNodes {
 		e.stats.PeakMNodes = e.mUnique.live
 	}
@@ -467,12 +487,20 @@ func hashMKey(v int32, es *[4]MEdge) uint32 {
 	return finish(h)
 }
 
-// foldW folds a complex weight's bit pattern into a hash.
+// foldW folds a complex weight's bit pattern into a hash. The shift
+// after each multiply matters: XOR-then-multiply alone is linear in the
+// top bit ((x^1<<31)*K == x*K ^ 1<<31 for odd K), so two weights whose
+// folded words differ only in bit 31 — e.g. +1 and -1 — could be
+// swapped between edge positions without changing the final hash. The
+// avalanche shift spreads bit 31 downward so position swaps of
+// sign-flipped weights always perturb the hash.
 func foldW(h uint32, w complex128) uint32 {
 	rb := math.Float64bits(real(w))
 	ib := math.Float64bits(imag(w))
 	h = (h ^ uint32(rb) ^ uint32(rb>>32)) * 0x9e3779b1
+	h ^= h >> 15
 	h = (h ^ uint32(ib) ^ uint32(ib>>32)) * 0x85ebca77
+	h ^= h >> 13
 	return h
 }
 

@@ -1,0 +1,118 @@
+package dd
+
+import "math"
+
+// Bit-flip fault injection. Where abort injection (abort.go) rehearses
+// loud failures, bit flips rehearse the quiet ones: a single mutated
+// edge weight or child pointer that leaves the diagram structurally
+// plausible but numerically wrong, the exact corruption class the
+// integrity layer (audit.go, core's verifier) exists to catch. Faults
+// fire on node internings rather than abort probes so placement is
+// deterministic for a given circuit and independent of whether any
+// abort source is armed — and so the disarmed hot path pays only the
+// same single-branch guard the abort layer does.
+//
+// Like abort injection, bit flips are compiled out of release builds:
+// arming requires the ddchaos build tag or DD_CHAOS=1.
+
+// FaultKind selects what a bit-flip fault corrupts.
+type FaultKind uint8
+
+const (
+	// FaultWeightFlip flips one mantissa bit of an edge weight on the
+	// target node, breaking weight canonicality (and usually the state
+	// norm) without touching structure.
+	FaultWeightFlip FaultKind = iota + 1
+	// FaultChildFlip swaps two successor edges of the target node,
+	// corrupting structure while every individual weight stays canonical.
+	FaultChildFlip
+)
+
+// String returns the kind's short name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultWeightFlip:
+		return "weight-flip"
+	case FaultChildFlip:
+		return "child-flip"
+	}
+	return "fault(?)"
+}
+
+// InjectBitFlipAfter arms a bit-flip fault: the n-th node interning
+// from now (n ≥ 1, vector or matrix) has one edge corrupted in place
+// immediately after it is inserted into the unique table. The hook
+// disarms itself after firing and counts the hit in
+// Stats.FaultsInjected. Only active under the ddchaos build tag or
+// DD_CHAOS=1; the call reports whether it armed.
+func (e *Engine) InjectBitFlipAfter(n uint64, kind FaultKind) bool {
+	if !chaosEnabled() || n == 0 {
+		return false
+	}
+	e.flipCountdown = n
+	e.flipKind = kind
+	return true
+}
+
+// weightFlipBit is XORed into the real-part mantissa of the victim
+// weight: bit 30 sits mid-mantissa, so the flip is large enough to
+// defeat cnum tolerance yet small enough that the weight still looks
+// like a plausible amplitude.
+const weightFlipBit = 1 << 30
+
+func flipWeight(w complex128) complex128 {
+	return complex(math.Float64frombits(math.Float64bits(real(w))^weightFlipBit), imag(w))
+}
+
+// flipV corrupts a freshly interned vector node in place. Interned
+// fields (hash, unique-table slot) are NOT updated — that staleness is
+// the corruption being modelled.
+func (e *Engine) flipV(n *VNode) {
+	e.stats.FaultsInjected++
+	if e.flipKind == FaultChildFlip {
+		if n.E[0] != n.E[1] {
+			n.E[0], n.E[1] = n.E[1], n.E[0]
+			return
+		}
+		// Both successors equal: a swap is a no-op. Redirect a child to
+		// the terminal instead (level-skip corruption) when there is a
+		// level below; at V==0 the children already are the terminal, so
+		// fall through to a weight flip.
+		if n.V > 0 {
+			n.E[0].N = vTerminal
+			return
+		}
+	}
+	for i := range n.E {
+		if n.E[i].W != 0 {
+			n.E[i].W = flipWeight(n.E[i].W)
+			return
+		}
+	}
+}
+
+// flipM corrupts a freshly interned matrix node in place; see flipV.
+// Child flips swap the diagonal quadrants E[0]/E[3].
+func (e *Engine) flipM(n *MNode) {
+	e.stats.FaultsInjected++
+	if e.flipKind == FaultChildFlip {
+		if n.E[0] != n.E[3] {
+			n.E[0], n.E[3] = n.E[3], n.E[0]
+			return
+		}
+		if n.E[1] != n.E[2] {
+			n.E[1], n.E[2] = n.E[2], n.E[1]
+			return
+		}
+		if n.V > 0 {
+			n.E[0].N = mTerminal
+			return
+		}
+	}
+	for i := range n.E {
+		if n.E[i].W != 0 {
+			n.E[i].W = flipWeight(n.E[i].W)
+			return
+		}
+	}
+}

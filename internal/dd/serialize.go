@@ -25,6 +25,23 @@ var (
 	mMagic = [4]byte{'D', 'D', 'M', '1'}
 )
 
+const (
+	// serializePrealloc caps the node-slice capacity allocated before any
+	// payload bytes are seen; larger diagrams grow by append as nodes
+	// actually decode.
+	serializePrealloc = 1 << 16
+	// maxSerializedVar bounds the per-node variable index; anything
+	// larger is a corrupt stream, not a plausible qubit count.
+	maxSerializedVar = 1 << 20
+)
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // WriteV serialises a vector diagram.
 func WriteV(w io.Writer, v VEdge) error {
 	bw := bufio.NewWriter(w)
@@ -76,7 +93,11 @@ func ReadV(r io.Reader, e *Engine) (VEdge, error) {
 	if count > 1<<28 {
 		return VEdge{}, fmt.Errorf("dd: ReadV: implausible node count %d", count)
 	}
-	nodes := make([]VEdge, count)
+	// The count is attacker-controlled (truncated or bit-flipped inputs
+	// reach this decoder via checkpoints); cap the upfront allocation and
+	// grow as nodes actually arrive, so a corrupt count costs an error,
+	// not an out-of-memory.
+	nodes := make([]VEdge, 0, min64(count, serializePrealloc))
 	resolve := func(w complex128, ref uint64) (VEdge, error) {
 		if ref == 0 {
 			if w == 0 {
@@ -85,7 +106,7 @@ func ReadV(r io.Reader, e *Engine) (VEdge, error) {
 			return VEdge{W: e.Weight(w), N: vTerminal}, nil
 		}
 		if ref > uint64(len(nodes)) {
-			return VEdge{}, fmt.Errorf("dd: ReadV: forward reference %d", ref)
+			return VEdge{}, fmt.Errorf("forward reference %d", ref)
 		}
 		child := nodes[ref-1]
 		return e.ScaleV(child, w), nil
@@ -93,29 +114,39 @@ func ReadV(r io.Reader, e *Engine) (VEdge, error) {
 	for i := uint64(0); i < count; i++ {
 		v, err := readInt32(br)
 		if err != nil {
-			return VEdge{}, err
+			return VEdge{}, fmt.Errorf("dd: ReadV: node %d: %w", i, err)
+		}
+		if v < 0 || v > maxSerializedVar {
+			return VEdge{}, fmt.Errorf("dd: ReadV: node %d: variable %d out of range", i, v)
 		}
 		var es [2]VEdge
 		for j := 0; j < 2; j++ {
 			w, ref, err := readEdge(br)
 			if err != nil {
-				return VEdge{}, err
-			}
-			if ref > i { // children must precede parents
-				return VEdge{}, fmt.Errorf("dd: ReadV: node %d references unwritten node %d", i, ref)
+				return VEdge{}, fmt.Errorf("dd: ReadV: node %d edge %d: %w", i, j, err)
 			}
 			es[j], err = resolve(w, ref)
 			if err != nil {
-				return VEdge{}, err
+				return VEdge{}, fmt.Errorf("dd: ReadV: node %d edge %d: %w", i, j, err)
+			}
+			// No-skip invariant: a non-zero edge leads exactly one level
+			// down (Var is -1 on the terminal, so this covers v == 0 too).
+			if !es[j].IsZero() && es[j].Var() != int(v)-1 {
+				return VEdge{}, fmt.Errorf("dd: ReadV: node %d edge %d: child at level %d under level %d",
+					i, j, es[j].Var(), v)
 			}
 		}
-		nodes[i] = e.makeVNode(v, es[0], es[1])
+		nodes = append(nodes, e.makeVNode(v, es[0], es[1]))
 	}
 	w, ref, err := readEdge(br)
 	if err != nil {
-		return VEdge{}, err
+		return VEdge{}, fmt.Errorf("dd: ReadV: root edge: %w", err)
 	}
-	return resolve(w, ref)
+	root, err := resolve(w, ref)
+	if err != nil {
+		return VEdge{}, fmt.Errorf("dd: ReadV: root edge: %w", err)
+	}
+	return root, nil
 }
 
 // WriteM serialises a matrix diagram.
@@ -170,7 +201,7 @@ func ReadM(r io.Reader, e *Engine) (MEdge, error) {
 	if count > 1<<28 {
 		return MEdge{}, fmt.Errorf("dd: ReadM: implausible node count %d", count)
 	}
-	nodes := make([]MEdge, count)
+	nodes := make([]MEdge, 0, min64(count, serializePrealloc))
 	resolve := func(w complex128, ref uint64) (MEdge, error) {
 		if ref == 0 {
 			if w == 0 {
@@ -179,36 +210,44 @@ func ReadM(r io.Reader, e *Engine) (MEdge, error) {
 			return MEdge{W: e.Weight(w), N: mTerminal}, nil
 		}
 		if ref > uint64(len(nodes)) {
-			return MEdge{}, fmt.Errorf("dd: ReadM: forward reference %d", ref)
+			return MEdge{}, fmt.Errorf("forward reference %d", ref)
 		}
 		return e.ScaleM(nodes[ref-1], w), nil
 	}
 	for i := uint64(0); i < count; i++ {
 		v, err := readInt32(br)
 		if err != nil {
-			return MEdge{}, err
+			return MEdge{}, fmt.Errorf("dd: ReadM: node %d: %w", i, err)
+		}
+		if v < 0 || v > maxSerializedVar {
+			return MEdge{}, fmt.Errorf("dd: ReadM: node %d: variable %d out of range", i, v)
 		}
 		var es [4]MEdge
 		for j := 0; j < 4; j++ {
 			w, ref, err := readEdge(br)
 			if err != nil {
-				return MEdge{}, err
-			}
-			if ref > i {
-				return MEdge{}, fmt.Errorf("dd: ReadM: node %d references unwritten node %d", i, ref)
+				return MEdge{}, fmt.Errorf("dd: ReadM: node %d edge %d: %w", i, j, err)
 			}
 			es[j], err = resolve(w, ref)
 			if err != nil {
-				return MEdge{}, err
+				return MEdge{}, fmt.Errorf("dd: ReadM: node %d edge %d: %w", i, j, err)
+			}
+			if !es[j].IsZero() && es[j].Var() != int(v)-1 {
+				return MEdge{}, fmt.Errorf("dd: ReadM: node %d edge %d: child at level %d under level %d",
+					i, j, es[j].Var(), v)
 			}
 		}
-		nodes[i] = e.makeMNode(v, es)
+		nodes = append(nodes, e.makeMNode(v, es))
 	}
 	w, ref, err := readEdge(br)
 	if err != nil {
-		return MEdge{}, err
+		return MEdge{}, fmt.Errorf("dd: ReadM: root edge: %w", err)
 	}
-	return resolve(w, ref)
+	root, err := resolve(w, ref)
+	if err != nil {
+		return MEdge{}, fmt.Errorf("dd: ReadM: root edge: %w", err)
+	}
+	return root, nil
 }
 
 func writeUvarint(w *bufio.Writer, v uint64) {

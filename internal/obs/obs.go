@@ -44,6 +44,15 @@ const (
 	KindAbort
 	// KindRunEnd closes a run and carries the run totals.
 	KindRunEnd
+	// KindVerify is one integrity verification pass (audit, norm drift,
+	// unitarity, dense-oracle comparison); Event.Check names the failing
+	// check, empty when the pass was clean.
+	KindVerify
+	// KindRepair marks a corruption recovery: the state was rebuilt into
+	// a fresh engine and the in-flight gates replayed. Event.Combined is
+	// the number of gates replayed; Event.Check names the check that
+	// triggered the repair.
+	KindRepair
 )
 
 var kindNames = [...]string{
@@ -54,6 +63,8 @@ var kindNames = [...]string{
 	KindCheckpoint: "checkpoint",
 	KindAbort:      "abort",
 	KindRunEnd:     "run_end",
+	KindVerify:     "verify",
+	KindRepair:     "repair",
 }
 
 // String returns the kind's wire name.
@@ -142,9 +153,14 @@ type Event struct {
 	BlockReuse bool   `json:"block_reuse,omitempty"`
 
 	// Abort is the failure kind ("deadline", "budget", "canceled",
-	// "injected", "panic") on KindAbort and on the KindRunEnd of an
-	// aborted run; empty on clean runs.
+	// "injected", "panic", "corruption") on KindAbort and on the
+	// KindRunEnd of an aborted run; empty on clean runs.
 	Abort string `json:"abort,omitempty"`
+
+	// Check names the integrity check involved in a KindVerify or
+	// KindRepair event ("audit", "norm", "unitarity", "oracle"); empty
+	// on a clean verification pass.
+	Check string `json:"check,omitempty"`
 }
 
 // Time returns the emission time as a time.Time.
