@@ -7,6 +7,7 @@
 //	Fig. 5  — DD size traces along Eq. 1 vs. combined operations
 //	adaptive — ratio sweep of the adaptive strategy (ablation, not in "all")
 //	enginestats — per-cache hit rates and GC behaviour of the DD engine
+//	identity — identity-aware kernels before/after (ablation, not in "all")
 //
 // Usage:
 //
@@ -52,7 +53,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "all | fig5 | fig8 | fig9 | table1 | table2 | adaptive | enginestats")
+		experiment = flag.String("experiment", "all", "all | fig5 | fig8 | fig9 | table1 | table2 | adaptive | enginestats | identity")
 		full       = flag.Bool("full", false, "larger instances (several minutes; table2 adds the paper's moduli)")
 		reps       = flag.Int("reps", 1, "timing repetitions (fastest run reported)")
 		budget     = flag.Duration("budget", 30*time.Second, "per-run timeout (paper: 2 CPU hours)")
@@ -217,6 +218,16 @@ func main() {
 	}
 	if *experiment == "adaptive" { // ablation beyond the paper; not part of "all"
 		run("adaptive", sweepRunner(bench.AdaptiveSweep))
+		ran = true
+	}
+	if *experiment == "identity" { // kernel ablation; not part of "all"
+		run("identity", func(cfg bench.Config) (string, string, string, error) {
+			rows, err := bench.IdentitySweep(cfg)
+			if err != nil {
+				return "", "", "", err
+			}
+			return bench.RenderIdentity(rows), bench.IdentityCSV(rows), "", nil
+		})
 		ran = true
 	}
 	if !ran {

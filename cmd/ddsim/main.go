@@ -81,6 +81,7 @@ func main() {
 		dotOut    = flag.String("dot", "", "write the final state DD in Graphviz DOT format to this file")
 		optimize  = flag.Bool("optimize", false, "run the peephole optimiser before simulating")
 		stats     = flag.Bool("stats", false, "print engine statistics (cache hit rates, GC, memory layout)")
+		noIDSkip  = flag.Bool("no-identity-skip", false, "disable the identity short-circuits in the multiplication kernels (results are identical; use with -stats to measure the optimisation)")
 
 		traceOut   = flag.String("trace-out", "", "write the structured event stream (one JSON object per step/GC/abort) to this file")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file (JSON, or Prometheus text if the path ends in .prom)")
@@ -130,14 +131,15 @@ func main() {
 	}
 
 	baseOpt := core.Options{
-		Strategy:        st,
-		UseBlocks:       *blocks,
-		RecordTrace:     *showTrace,
-		MaxNodes:        *maxNodes,
-		DisableFallback: *noFallback,
-		Seed:            *seed,
-		VerifyEvery:     *verifyEvery,
-		Paranoid:        *paranoid,
+		Strategy:            st,
+		UseBlocks:           *blocks,
+		RecordTrace:         *showTrace,
+		MaxNodes:            *maxNodes,
+		DisableFallback:     *noFallback,
+		Seed:                *seed,
+		VerifyEvery:         *verifyEvery,
+		Paranoid:            *paranoid,
+		DisableIdentitySkip: *noIDSkip,
 	}
 	if *timeout > 0 {
 		baseOpt.Deadline = time.Now().Add(*timeout)
@@ -528,6 +530,14 @@ func printEngineStats(e *dd.Engine) {
 	cache("add-m", s.AddM)
 	cache("mul-mv", s.MulMV)
 	cache("mul-mm", s.MulMM)
+	fmt.Printf("  mul recursions:  %d (add recursions %d)\n", s.MulRecursions, s.AddRecursions)
+	skips := s.IdentitySkipsMV + s.IdentitySkipsMM
+	if e.IdentitySkipEnabled() {
+		fmt.Printf("  identity skips:  %d (mat-vec %d, mat-mat %d; %d recursion levels avoided)\n",
+			skips, s.IdentitySkipsMV, s.IdentitySkipsMM, s.IdentitySkipLevels)
+	} else {
+		fmt.Printf("  identity skips:  disabled (-no-identity-skip)\n")
+	}
 	fmt.Printf("  nodes created:   %d (recycled %d)\n", s.NodesCreated, s.NodesRecycled)
 	fmt.Printf("  collections:     %d (total pause %v, max %v)\n", s.GCs, s.GCPause, s.GCMaxPause)
 	fmt.Printf("  unique tables:   v %d/%d slots (%d tombstones), m %d/%d slots (%d tombstones)\n",

@@ -17,6 +17,7 @@ import (
 	"repro/internal/grover"
 	"repro/internal/hamiltonian"
 	"repro/internal/obs"
+	"repro/internal/qft"
 	"repro/internal/shor"
 	"repro/internal/supremacy"
 )
@@ -93,6 +94,19 @@ func ShorWorkload(modN, a uint64) Workload {
 		Name: fmt.Sprintf("shor_%d_%d", modN, a),
 		Run: func(opt core.Options) error {
 			_, err := shor.SimulateGateLevel(modN, a, opt, rand.New(rand.NewSource(1)))
+			return err
+		},
+	}
+}
+
+// QFTWorkload returns the qft_<n> benchmark (quantum Fourier transform
+// with final swaps, applied to the |0…0> state).
+func QFTWorkload(n int) Workload {
+	c := qft.Circuit(n, true)
+	return Workload{
+		Name: fmt.Sprintf("qft_%d", n),
+		Run: func(opt core.Options) error {
+			_, err := core.Run(c, opt)
 			return err
 		},
 	}

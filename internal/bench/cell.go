@@ -19,11 +19,17 @@ type CellMetrics struct {
 	Valid   bool
 	Seconds float64
 
-	MatVecMuls   uint64
-	MatMatMuls   uint64
-	CacheLookups uint64
-	CacheHits    uint64
-	NodesCreated uint64
+	MatVecMuls uint64
+	MatMatMuls uint64
+	// MulRecursions counts multiplication-kernel recursion steps;
+	// IdentitySkipsMV/MM the identity short-circuits taken inside them.
+	// Their ratio is the identity-aware kernels' effect per cell.
+	MulRecursions   uint64
+	IdentitySkipsMV uint64
+	IdentitySkipsMM uint64
+	CacheLookups    uint64
+	CacheHits       uint64
+	NodesCreated    uint64
 
 	GCs            uint64
 	GCPauseSeconds float64
@@ -67,26 +73,30 @@ func (s *runEndCapture) cell(seconds float64) CellMetrics {
 	}
 	e := s.ev
 	return CellMetrics{
-		Valid:          true,
-		Seconds:        seconds,
-		MatVecMuls:     e.MatVecMuls,
-		MatMatMuls:     e.MatMatMuls,
-		CacheLookups:   e.CacheLookups,
-		CacheHits:      e.CacheHits,
-		NodesCreated:   e.NodesCreated,
-		GCs:            e.GCs,
-		GCPauseSeconds: float64(e.GCPauseNS) / 1e9,
-		PeakNodes:      e.PeakNodes,
-		Fallbacks:      e.Fallbacks,
-		StateNodes:     e.StateNodes,
-		Abort:          e.Abort,
+		Valid:           true,
+		Seconds:         seconds,
+		MatVecMuls:      e.MatVecMuls,
+		MatMatMuls:      e.MatMatMuls,
+		MulRecursions:   e.MulRecursions,
+		IdentitySkipsMV: e.IdentitySkipsMV,
+		IdentitySkipsMM: e.IdentitySkipsMM,
+		CacheLookups:    e.CacheLookups,
+		CacheHits:       e.CacheHits,
+		NodesCreated:    e.NodesCreated,
+		GCs:             e.GCs,
+		GCPauseSeconds:  float64(e.GCPauseNS) / 1e9,
+		PeakNodes:       e.PeakNodes,
+		Fallbacks:       e.Fallbacks,
+		StateNodes:      e.StateNodes,
+		Abort:           e.Abort,
 	}
 }
 
 // metricsCSVHeader is the long-format per-cell telemetry schema shared
 // by the sweep experiments.
 const metricsCSVHeader = "workload,param,seconds,mark," +
-	"matvec_muls,matmat_muls,cache_lookups,cache_hits,cache_hit_rate," +
+	"matvec_muls,matmat_muls,mul_recursions,identity_skips_mv,identity_skips_mm," +
+	"cache_lookups,cache_hits,cache_hit_rate," +
 	"nodes_created,gcs,gc_pause_seconds,peak_nodes,fallbacks,state_nodes\n"
 
 func appendMetricsRow(sb *strings.Builder, workload, param, mark string, c CellMetrics) {
@@ -97,9 +107,10 @@ func appendMetricsRow(sb *strings.Builder, workload, param, mark string, c CellM
 	if hr := c.CacheHitRate(); !math.IsNaN(hr) {
 		rate = fmt.Sprintf("%.4f", hr)
 	}
-	fmt.Fprintf(sb, "%s,%s,%s,%s,%d,%d,%d,%d,%s,%d,%d,%s,%d,%d,%d\n",
+	fmt.Fprintf(sb, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d,%s,%d,%d,%d\n",
 		csvEscape(workload), csvEscape(param), csvFloat(c.Seconds), mark,
-		c.MatVecMuls, c.MatMatMuls, c.CacheLookups, c.CacheHits, rate,
+		c.MatVecMuls, c.MatMatMuls, c.MulRecursions, c.IdentitySkipsMV, c.IdentitySkipsMM,
+		c.CacheLookups, c.CacheHits, rate,
 		c.NodesCreated, c.GCs, csvFloat(c.GCPauseSeconds),
 		c.PeakNodes, c.Fallbacks, c.StateNodes)
 }

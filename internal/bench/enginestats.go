@@ -19,6 +19,13 @@ type EngineStatsRow struct {
 
 	AddV, AddM, MulMV, MulMM dd.CacheStats
 
+	// MulRecursions counts multiplication-kernel recursion steps;
+	// IdentitySkips the identity short-circuits taken (mat-vec +
+	// mat-mat) and IdentitySkipLevels the recursion levels they avoided.
+	MulRecursions      uint64
+	IdentitySkips      uint64
+	IdentitySkipLevels uint64
+
 	NodesCreated  uint64
 	NodesRecycled uint64
 	GCs           uint64
@@ -63,19 +70,22 @@ func EngineStats(cfg Config) ([]EngineStatsRow, error) {
 			}
 			s := e.Stats()
 			rows = append(rows, EngineStatsRow{
-				Workload:      w.Name,
-				Strategy:      st.Name(),
-				Seconds:       elapsed,
-				AddV:          s.AddV,
-				AddM:          s.AddM,
-				MulMV:         s.MulMV,
-				MulMM:         s.MulMM,
-				NodesCreated:  s.NodesCreated,
-				NodesRecycled: s.NodesRecycled,
-				GCs:           s.GCs,
-				GCPause:       s.GCPause,
-				PeakNodes:     s.PeakVNodes + s.PeakMNodes,
-				Fallbacks:     cap.cell(elapsed).Fallbacks,
+				Workload:           w.Name,
+				Strategy:           st.Name(),
+				Seconds:            elapsed,
+				AddV:               s.AddV,
+				AddM:               s.AddM,
+				MulMV:              s.MulMV,
+				MulMM:              s.MulMM,
+				MulRecursions:      s.MulRecursions,
+				IdentitySkips:      s.IdentitySkipsMV + s.IdentitySkipsMM,
+				IdentitySkipLevels: s.IdentitySkipLevels,
+				NodesCreated:       s.NodesCreated,
+				NodesRecycled:      s.NodesRecycled,
+				GCs:                s.GCs,
+				GCPause:            s.GCPause,
+				PeakNodes:          s.PeakVNodes + s.PeakMNodes,
+				Fallbacks:          cap.cell(elapsed).Fallbacks,
 			})
 		}
 	}
@@ -86,14 +96,16 @@ func EngineStats(cfg Config) ([]EngineStatsRow, error) {
 func RenderEngineStats(rows []EngineStatsRow) string {
 	var sb strings.Builder
 	sb.WriteString("Engine statistics: per-cache hit rates and GC behaviour per workload and strategy\n")
-	sb.WriteString("(hit rate = cache hits / lookups; nodes = created/recycled; pauses summed over all collections)\n\n")
-	fmt.Fprintf(&sb, "%-18s %-18s %8s %8s %8s %8s %12s %12s %5s %10s %9s %5s\n",
+	sb.WriteString("(hit rate = cache hits / lookups; mul-rec = multiplication recursions, id-skips = identity\n")
+	sb.WriteString(" short-circuits taken; nodes = created/recycled; pauses summed over all collections)\n\n")
+	fmt.Fprintf(&sb, "%-18s %-18s %8s %8s %8s %8s %10s %9s %12s %12s %5s %10s %9s %5s\n",
 		"Benchmark", "Strategy", "add-v", "add-m", "mul-mv", "mul-mm",
-		"created", "recycled", "GCs", "pause", "peak", "fb")
+		"mul-rec", "id-skips", "created", "recycled", "GCs", "pause", "peak", "fb")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-18s %-18s %8s %8s %8s %8s %12d %12d %5d %10s %9d %5d\n",
+		fmt.Fprintf(&sb, "%-18s %-18s %8s %8s %8s %8s %10d %9d %12d %12d %5d %10s %9d %5d\n",
 			r.Workload, r.Strategy,
 			fmtRate(r.AddV), fmtRate(r.AddM), fmtRate(r.MulMV), fmtRate(r.MulMM),
+			r.MulRecursions, r.IdentitySkips,
 			r.NodesCreated, r.NodesRecycled, r.GCs, r.GCPause.Round(time.Microsecond),
 			r.PeakNodes, r.Fallbacks)
 	}
@@ -113,12 +125,14 @@ func EngineStatsCSV(rows []EngineStatsRow) string {
 	sb.WriteString("workload,strategy,seconds," +
 		"addv_lookups,addv_hits,addm_lookups,addm_hits," +
 		"mulmv_lookups,mulmv_hits,mulmm_lookups,mulmm_hits," +
+		"mul_recursions,identity_skips,identity_skip_levels," +
 		"nodes_created,nodes_recycled,gcs,gc_pause_seconds,peak_nodes,fallbacks\n")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d\n",
+		fmt.Fprintf(&sb, "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d\n",
 			csvEscape(r.Workload), csvEscape(r.Strategy), csvFloat(r.Seconds),
 			r.AddV.Lookups, r.AddV.Hits, r.AddM.Lookups, r.AddM.Hits,
 			r.MulMV.Lookups, r.MulMV.Hits, r.MulMM.Lookups, r.MulMM.Hits,
+			r.MulRecursions, r.IdentitySkips, r.IdentitySkipLevels,
 			r.NodesCreated, r.NodesRecycled, r.GCs, csvFloat(r.GCPause.Seconds()),
 			r.PeakNodes, r.Fallbacks)
 	}

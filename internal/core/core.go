@@ -208,6 +208,11 @@ type Options struct {
 	// (dense simulation is exactly what does not scale); implies
 	// VerifyEvery=1 unless set explicitly.
 	Paranoid bool
+	// DisableIdentitySkip turns off the engine's identity short-circuits
+	// in the multiplication kernels (dd.Engine.SetIdentitySkip). Results
+	// are identical either way; the switch exists for differential
+	// testing and for measuring the optimisation (Stats.IdentitySkips*).
+	DisableIdentitySkip bool
 }
 
 const defaultGCThreshold = 200_000
@@ -419,6 +424,7 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 	eng.SetDeadline(opt.Deadline)
 	eng.SetBudget(opt.MaxNodes)
 	eng.SetContext(ctx)
+	eng.SetIdentitySkip(!opt.DisableIdentitySkip)
 	defer func() {
 		r.eng.SetDeadline(time.Time{})
 		r.eng.SetBudget(0)

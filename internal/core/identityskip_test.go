@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dd"
+)
+
+// TestIdentitySkipMatchesDense runs random circuits through every
+// strategy family with the identity short-circuits on and off and
+// checks both runs against the dense oracle and against each other.
+// The kernels' skip paths return the exact canonical edges the full
+// recursion builds, so the two runs must agree to within the oracle
+// tolerance on every amplitude — across sequential application, the
+// combination strategies (whose accumulated matrices are mostly
+// identity structure), and repeated blocks.
+func TestIdentitySkipMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	strategies := []Strategy{
+		Sequential{},
+		KOperations{K: 4},
+		MaxSize{SMax: 64},
+	}
+	for trial := 0; trial < 4; trial++ {
+		n := 2 + rng.Intn(4)
+		c := randomCircuit(rng, n, 30, trial%2 == 1)
+		for _, st := range strategies {
+			var vecs [2][]complex128
+			for i, disable := range []bool{false, true} {
+				res, err := Run(c, Options{Strategy: st, DisableIdentitySkip: disable})
+				if err != nil {
+					t.Fatalf("trial %d %s skip-disabled=%v: %v", trial, st.Name(), disable, err)
+				}
+				if f := fidelityWithDense(t, res, c); f < 1-1e-9 {
+					t.Fatalf("trial %d %s skip-disabled=%v: fidelity %v against dense oracle",
+						trial, st.Name(), disable, f)
+				}
+				vecs[i] = res.State.ToVector()
+			}
+			for i := range vecs[0] {
+				if cmplx.Abs(vecs[0][i]-vecs[1][i]) > 1e-9 {
+					t.Fatalf("trial %d %s: amplitude %d differs with skipping on/off: %v vs %v",
+						trial, st.Name(), i, vecs[0][i], vecs[1][i])
+				}
+			}
+		}
+	}
+}
+
+// TestIdentitySkipOptionPlumbing checks the option actually reaches the
+// engine: a run with DisableIdentitySkip must record zero skips, the
+// default run must record some, and a caller-supplied engine must come
+// back configured the way the last run left it (documented behaviour:
+// RunContext sets the engine mode and does not reset it).
+func TestIdentitySkipOptionPlumbing(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	c := randomCircuit(rng, 4, 24, false)
+
+	e := dd.New()
+	if _, err := Run(c, Options{Strategy: KOperations{K: 4}, Engine: e}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.IdentitySkipEnabled() {
+		t.Fatal("default run left identity skipping disabled")
+	}
+	if s := e.Stats(); s.IdentitySkipsMV+s.IdentitySkipsMM == 0 {
+		t.Fatal("default run recorded no identity skips on a combination strategy")
+	}
+
+	e = dd.New()
+	if _, err := Run(c, Options{Strategy: KOperations{K: 4}, Engine: e, DisableIdentitySkip: true}); err != nil {
+		t.Fatal(err)
+	}
+	if e.IdentitySkipEnabled() {
+		t.Fatal("DisableIdentitySkip did not reach the engine")
+	}
+	if s := e.Stats(); s.IdentitySkipsMV+s.IdentitySkipsMM != 0 {
+		t.Fatalf("disabled run still recorded %d skips", s.IdentitySkipsMV+s.IdentitySkipsMM)
+	}
+	// The disabled run must still do strictly more kernel work.
+	off := e.Stats().MulRecursions
+	e2 := dd.New()
+	if _, err := Run(c, Options{Strategy: KOperations{K: 4}, Engine: e2}); err != nil {
+		t.Fatal(err)
+	}
+	if on := e2.Stats().MulRecursions; on >= off {
+		t.Fatalf("MulRecursions with skipping (%d) not below without (%d)", on, off)
+	}
+}

@@ -41,6 +41,9 @@ type runObserver struct {
 // returns the same instruments, so sweeps aggregate across runs.
 type runMetrics struct {
 	steps, matvec, matmat    *obs.Counter
+	mulRecursions            *obs.Counter
+	identitySkipsMV          *obs.Counter
+	identitySkipsMM          *obs.Counter
 	cacheLookups, cacheHits  *obs.Counter
 	cacheInvalidations       *obs.Counter
 	nodesCreated             *obs.Counter
@@ -62,6 +65,9 @@ func newRunMetrics(r *obs.Registry) *runMetrics {
 		steps:              r.Counter("dd_steps_total", "Applied operations (top-level matrix-vector steps)."),
 		matvec:             r.Counter("dd_matvec_muls_total", "Top-level matrix-vector multiplications (Eq. 1 cost)."),
 		matmat:             r.Counter("dd_matmat_muls_total", "Top-level matrix-matrix multiplications (Eq. 2 cost)."),
+		mulRecursions:      r.Counter("dd_mul_recursions_total", "Multiplication-kernel recursion steps (mat-vec and mat-mat)."),
+		identitySkipsMV:    r.Counter("dd_identity_skips_mv_total", "Identity short-circuits taken in matrix-vector multiplications."),
+		identitySkipsMM:    r.Counter("dd_identity_skips_mm_total", "Identity short-circuits taken in matrix-matrix multiplications."),
 		cacheLookups:       r.Counter("dd_cache_lookups_total", "Compute-cache lookups across all four caches."),
 		cacheHits:          r.Counter("dd_cache_hits_total", "Compute-cache hits across all four caches."),
 		cacheInvalidations: r.Counter("dd_cache_invalidations_total", "Compute-cache invalidations (GC, aborts, explicit clears)."),
@@ -148,29 +154,35 @@ func (o *runObserver) step(si stepInfo) {
 	}
 	cur := o.eng.Stats()
 	d := obs.Event{
-		Kind:         obs.KindStep,
-		Gate:         si.gate,
-		WallNS:       si.wall.Nanoseconds(),
-		Combined:     si.combined,
-		OpNodes:      si.opNodes,
-		StateNodes:   si.stateNodes,
-		MatVecMuls:   cur.MatVecMuls - o.prev.MatVecMuls,
-		MatMatMuls:   cur.MatMatMuls - o.prev.MatMatMuls,
-		CacheLookups: cur.CacheLookups - o.prev.CacheLookups,
-		CacheHits:    cur.CacheHits - o.prev.CacheHits,
-		NodesCreated: cur.NodesCreated - o.prev.NodesCreated,
-		GCs:          cur.GCs - o.prev.GCs,
-		GCPauseNS:    (cur.GCPause - o.prev.GCPause).Nanoseconds(),
-		Fallback:     si.fallback,
-		FromBlock:    si.fromBlock,
-		Block:        si.block,
-		BlockReuse:   si.reuse,
+		Kind:            obs.KindStep,
+		Gate:            si.gate,
+		WallNS:          si.wall.Nanoseconds(),
+		Combined:        si.combined,
+		OpNodes:         si.opNodes,
+		StateNodes:      si.stateNodes,
+		MatVecMuls:      cur.MatVecMuls - o.prev.MatVecMuls,
+		MatMatMuls:      cur.MatMatMuls - o.prev.MatMatMuls,
+		MulRecursions:   cur.MulRecursions - o.prev.MulRecursions,
+		IdentitySkipsMV: cur.IdentitySkipsMV - o.prev.IdentitySkipsMV,
+		IdentitySkipsMM: cur.IdentitySkipsMM - o.prev.IdentitySkipsMM,
+		CacheLookups:    cur.CacheLookups - o.prev.CacheLookups,
+		CacheHits:       cur.CacheHits - o.prev.CacheHits,
+		NodesCreated:    cur.NodesCreated - o.prev.NodesCreated,
+		GCs:             cur.GCs - o.prev.GCs,
+		GCPauseNS:       (cur.GCPause - o.prev.GCPause).Nanoseconds(),
+		Fallback:        si.fallback,
+		FromBlock:       si.fromBlock,
+		Block:           si.block,
+		BlockReuse:      si.reuse,
 	}
 	o.prev = cur
 	if m := o.met; m != nil {
 		m.steps.Inc()
 		m.matvec.Add(d.MatVecMuls)
 		m.matmat.Add(d.MatMatMuls)
+		m.mulRecursions.Add(d.MulRecursions)
+		m.identitySkipsMV.Add(d.IdentitySkipsMV)
+		m.identitySkipsMM.Add(d.IdentitySkipsMM)
 		m.cacheLookups.Add(d.CacheLookups)
 		m.cacheHits.Add(d.CacheHits)
 		m.nodesCreated.Add(d.NodesCreated)
@@ -241,22 +253,25 @@ func (o *runObserver) finish(applied, stateNodes, fallbacks int, err error) {
 	}
 	totals := statsSum(o.carried, statsDelta(o.eng.Stats(), o.startStats))
 	o.emit(obs.Event{
-		Kind:         obs.KindRunEnd,
-		Gate:         applied,
-		Circuit:      o.circuit,
-		TotalGates:   o.total,
-		WallNS:       time.Since(o.started).Nanoseconds(),
-		StateNodes:   stateNodes,
-		MatVecMuls:   totals.MatVecMuls,
-		MatMatMuls:   totals.MatMatMuls,
-		CacheLookups: totals.CacheLookups,
-		CacheHits:    totals.CacheHits,
-		NodesCreated: totals.NodesCreated,
-		GCs:          totals.GCs,
-		GCPauseNS:    totals.GCPause.Nanoseconds(),
-		PeakNodes:    totals.PeakVNodes + totals.PeakMNodes,
-		Fallbacks:    fallbacks,
-		Abort:        abort,
+		Kind:            obs.KindRunEnd,
+		Gate:            applied,
+		Circuit:         o.circuit,
+		TotalGates:      o.total,
+		WallNS:          time.Since(o.started).Nanoseconds(),
+		StateNodes:      stateNodes,
+		MatVecMuls:      totals.MatVecMuls,
+		MatMatMuls:      totals.MatMatMuls,
+		MulRecursions:   totals.MulRecursions,
+		IdentitySkipsMV: totals.IdentitySkipsMV,
+		IdentitySkipsMM: totals.IdentitySkipsMM,
+		CacheLookups:    totals.CacheLookups,
+		CacheHits:       totals.CacheHits,
+		NodesCreated:    totals.NodesCreated,
+		GCs:             totals.GCs,
+		GCPauseNS:       totals.GCPause.Nanoseconds(),
+		PeakNodes:       totals.PeakVNodes + totals.PeakMNodes,
+		Fallbacks:       fallbacks,
+		Abort:           abort,
 	})
 }
 

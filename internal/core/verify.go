@@ -275,6 +275,7 @@ func (r *runner) swapEngine(fresh *dd.Engine) {
 	fresh.SetDeadline(r.opt.Deadline)
 	fresh.SetBudget(r.opt.MaxNodes)
 	fresh.SetContext(r.ctx)
+	fresh.SetIdentitySkip(!r.opt.DisableIdentitySkip)
 	if r.obs != nil {
 		old.SetObserver(nil)
 		r.obs.engineSwapped(oldStats, fresh)
@@ -294,6 +295,9 @@ func statsDelta(cur, base dd.Stats) dd.Stats {
 	d.MatMatMuls -= base.MatMatMuls
 	d.AddRecursions -= base.AddRecursions
 	d.MulRecursions -= base.MulRecursions
+	d.IdentitySkipsMV -= base.IdentitySkipsMV
+	d.IdentitySkipsMM -= base.IdentitySkipsMM
+	d.IdentitySkipLevels -= base.IdentitySkipLevels
 	d.CacheHits -= base.CacheHits
 	d.CacheLookups -= base.CacheLookups
 	d.AddV.Lookups -= base.AddV.Lookups
@@ -322,6 +326,9 @@ func statsSum(a, b dd.Stats) dd.Stats {
 	s.MatMatMuls += b.MatMatMuls
 	s.AddRecursions += b.AddRecursions
 	s.MulRecursions += b.MulRecursions
+	s.IdentitySkipsMV += b.IdentitySkipsMV
+	s.IdentitySkipsMM += b.IdentitySkipsMM
+	s.IdentitySkipLevels += b.IdentitySkipLevels
 	s.CacheHits += b.CacheHits
 	s.CacheLookups += b.CacheLookups
 	s.AddV.Lookups += b.AddV.Lookups

@@ -147,6 +147,16 @@ func (e *Engine) mulVec(m MEdge, v VEdge) VEdge {
 	if m.N.V != v.N.V {
 		panic(fmt.Sprintf("dd: MulVec on mismatched levels %d vs %d", m.N.V, v.N.V))
 	}
+	// Identity short-circuit: an edge into an identity node represents
+	// m.W·I, so the product is v scaled by m.W — the exact canonical
+	// edge the recursion below would rebuild (the identity rows
+	// reproduce v.N's halves unchanged, and re-interning a canonical
+	// node is the node itself), just without walking m.N.V+1 levels.
+	if m.N.isIdentity && !e.noIdentitySkip {
+		e.stats.IdentitySkipsMV++
+		e.stats.IdentitySkipLevels += uint64(m.N.V) + 1
+		return e.scaleV(v, m.W)
+	}
 	idx := mix(m.N.id, v.N.id) & cacheMask
 	e.stats.MulMV.Lookups++
 	if s := &e.mulMVTab[idx]; s.gen == e.cacheGen && s.m == m.N.id && s.v == v.N.id {
@@ -157,6 +167,13 @@ func (e *Engine) mulVec(m MEdge, v VEdge) VEdge {
 	for row := 0; row < 2; row++ {
 		var sum VEdge = VZero()
 		for col := 0; col < 2; col++ {
+			// Zero quadrants contribute nothing; gate padding guarantees
+			// plenty of them (every non-target level of a gate DD has
+			// zero off-diagonals). Unconditional: addV(sum, 0) == sum, so
+			// skipping is bit-identical to recursing.
+			if m.N.E[2*row+col].IsZero() || v.N.E[col].IsZero() {
+				continue
+			}
 			p := e.mulVec(m.N.E[2*row+col], v.N.E[col])
 			sum = e.addV(sum, p)
 		}
@@ -188,6 +205,22 @@ func (e *Engine) mulMat(a, b MEdge) MEdge {
 	if a.N.V != b.N.V {
 		panic(fmt.Sprintf("dd: MulMat on mismatched levels %d vs %d", a.N.V, b.N.V))
 	}
+	// Identity short-circuits: (a.W·I)×b = b scaled by a.W and
+	// a×(b.W·I) = a scaled by b.W, both the exact canonical edges the
+	// recursion would rebuild. This is the combination strategies' case:
+	// accumulated operation matrices are mostly identity structure.
+	if !e.noIdentitySkip {
+		if a.N.isIdentity {
+			e.stats.IdentitySkipsMM++
+			e.stats.IdentitySkipLevels += uint64(a.N.V) + 1
+			return e.scaleM(b, a.W)
+		}
+		if b.N.isIdentity {
+			e.stats.IdentitySkipsMM++
+			e.stats.IdentitySkipLevels += uint64(b.N.V) + 1
+			return e.scaleM(a, b.W)
+		}
+	}
 	idx := mix(a.N.id, b.N.id) & cacheMask
 	e.stats.MulMM.Lookups++
 	if s := &e.mulMMTab[idx]; s.gen == e.cacheGen && s.a == a.N.id && s.b == b.N.id {
@@ -199,6 +232,11 @@ func (e *Engine) mulMat(a, b MEdge) MEdge {
 		for col := 0; col < 2; col++ {
 			var sum MEdge = MZero()
 			for k := 0; k < 2; k++ {
+				// Skip zero partial products (see mulVec): bit-identical,
+				// since addM(sum, 0) == sum.
+				if a.N.E[2*row+k].IsZero() || b.N.E[2*k+col].IsZero() {
+					continue
+				}
 				p := e.mulMat(a.N.E[2*row+k], b.N.E[2*k+col])
 				sum = e.addM(sum, p)
 			}
@@ -248,6 +286,7 @@ func (e *Engine) KronV(hi, lo VEdge) VEdge {
 }
 
 func (e *Engine) kronV(hi, lo VEdge, shift int32) VEdge {
+	e.abortCheck()
 	if hi.IsZero() || lo.IsZero() {
 		return VZero()
 	}
@@ -267,6 +306,7 @@ func (e *Engine) KronM(hi, lo MEdge) MEdge {
 }
 
 func (e *Engine) kronM(hi, lo MEdge, shift int32) MEdge {
+	e.abortCheck()
 	if hi.IsZero() || lo.IsZero() {
 		return MZero()
 	}
@@ -281,21 +321,44 @@ func (e *Engine) kronM(hi, lo MEdge, shift int32) MEdge {
 	return e.scaleM(r, hi.W)
 }
 
-// ConjTranspose returns the conjugate transpose (adjoint) of m.
+// ConjTranspose returns the conjugate transpose (adjoint) of m. The
+// recursion memoises per node through an engine-owned scratch table
+// (adjoints are weight-independent below the root, so entries stay
+// valid until the next GC) and probes the abort layer — without the
+// memo it is exponential on shared DAGs, exactly the diagrams the
+// combination strategies build.
 func (e *Engine) ConjTranspose(m MEdge) MEdge {
 	if m.IsZero() {
 		return m
 	}
-	if m.IsTerminal() {
-		return MEdge{W: conj(m.W), N: mTerminal}
+	return e.scaleM(e.conjT(m.N), conj(m.W))
+}
+
+// conjT returns the adjoint of the sub-diagram under n (weight one into
+// n), memoised on the node id.
+func (e *Engine) conjT(n *MNode) MEdge {
+	if n == mTerminal {
+		return MOne()
+	}
+	e.abortCheck()
+	// The identity is self-adjoint; re-interning it would rebuild the
+	// same node, so returning it directly is exact (and unconditional —
+	// this is a canonical-form fact, not a gated optimisation).
+	if n.isIdentity {
+		return MEdge{W: cnum.One, N: n}
+	}
+	idx := mix(n.id, 0x85ebca77) & scratchMask
+	if s := &e.ctTab[idx]; s.gen == e.cacheGen && s.n == n.id {
+		return s.r
 	}
 	var children [4]MEdge
-	children[0] = e.ConjTranspose(m.N.E[0])
-	children[1] = e.ConjTranspose(m.N.E[2]) // swap off-diagonal quadrants
-	children[2] = e.ConjTranspose(m.N.E[1])
-	children[3] = e.ConjTranspose(m.N.E[3])
-	r := e.makeMNode(m.N.V, children)
-	return e.scaleM(r, conj(m.W))
+	children[0] = e.scaleM(e.conjT(n.E[0].N), conj(n.E[0].W))
+	children[1] = e.scaleM(e.conjT(n.E[2].N), conj(n.E[2].W)) // swap off-diagonal quadrants
+	children[2] = e.scaleM(e.conjT(n.E[1].N), conj(n.E[1].W))
+	children[3] = e.scaleM(e.conjT(n.E[3].N), conj(n.E[3].W))
+	r := e.makeMNode(n.V, children)
+	e.ctTab[idx] = ctSlot{n: n.id, r: r, gen: e.cacheGen}
+	return r
 }
 
 func conj(c complex128) complex128 { return complex(real(c), -imag(c)) }

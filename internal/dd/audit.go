@@ -43,8 +43,9 @@ import (
 type IntegrityError struct {
 	// Check names the violated invariant: "terminal", "id", "level",
 	// "hash", "unique-table", "zero-edge", "weight-finite",
-	// "weight-canonical", "normalization", "table-counters", "arena",
-	// "free-list", "identity-cache", "norm", "unitarity".
+	// "weight-canonical", "normalization", "identity-bit",
+	// "table-counters", "arena", "free-list", "identity-cache", "norm",
+	// "unitarity".
 	Check string
 	// Matrix is true when the failing node lives in the matrix table.
 	Matrix bool
@@ -179,7 +180,26 @@ func (e *Engine) auditMNode(n *MNode) *IntegrityError {
 	if !one {
 		return fail("normalization", "no edge weight is exactly one")
 	}
+	// The isIdentity bit is derived and deliberately excluded from the
+	// stored hash, so the hash check above cannot see a corrupted bit —
+	// recomputing the shape from the edges here is the only detector.
+	// (With a single corrupted bit the children are honest, so using the
+	// child's bit in the recomputation is sound; a corrupted child fails
+	// its own audit.)
+	if want := identityShape(n); n.isIdentity != want {
+		return fail("identity-bit", fmt.Sprintf("stored isIdentity=%v, structure says %v", n.isIdentity, want))
+	}
 	return nil
+}
+
+// identityShape recomputes, from the stored (normalised) edges, whether
+// n is an identity node — the ground truth for the stamped isIdentity
+// bit.
+func identityShape(n *MNode) bool {
+	return n.E[1].W == cnum.Zero && n.E[2].W == cnum.Zero &&
+		n.E[0].W == cnum.One && n.E[3].W == cnum.One &&
+		n.E[0].N == n.E[3].N &&
+		(n.E[0].N == mTerminal || n.E[0].N.isIdentity)
 }
 
 // Audit verifies the engine's structural invariants — unique-table
@@ -252,7 +272,7 @@ func (e *Engine) Audit() error {
 		if k == 0 {
 			continue
 		}
-		if id.W != cnum.One || id.N == mTerminal || int(id.N.V) != k-1 {
+		if id.W != cnum.One || id.N == mTerminal || int(id.N.V) != k-1 || !id.N.isIdentity {
 			return &IntegrityError{Check: "identity-cache", Matrix: true, NodeID: id.N.id, Var: id.N.V,
 				Detail: fmt.Sprintf("cached identity over %d qubits is malformed", k)}
 		}

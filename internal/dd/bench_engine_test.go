@@ -107,3 +107,28 @@ func BenchmarkMulVecDeadline(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMulVecGate applies rotating single-qubit gates to a wide
+// evolving state — the gate-padding case the identity-aware kernels
+// target: everything below the target level is identity structure the
+// recursion must absorb in O(1) instead of walking. CI greps this
+// benchmark for 0 allocs/op alongside BenchmarkMulVec, so the identity
+// short-circuit cannot regress the hot path's allocation-free property.
+func BenchmarkMulVecGate(b *testing.B) {
+	e := New()
+	const n = 20
+	rng := rand.New(rand.NewSource(42))
+	gates := make([]MEdge, 64)
+	for i := range gates {
+		gates[i] = e.GateDD(randUnitary(rng), n, rng.Intn(n), nil)
+	}
+	v := e.ZeroState(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v = e.MulVec(gates[i&63], v)
+		if e.VNodeCount()+e.MNodeCount() > 150_000 {
+			e.GarbageCollect([]VEdge{v}, gates)
+		}
+	}
+}

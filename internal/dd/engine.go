@@ -36,10 +36,12 @@ type Engine struct {
 	mulMVTab []mulMVSlot
 	mulMMTab []mulMMSlot
 	// Scratch memo tables for the query operations (inner products,
-	// traces, projections); same generation scheme as the caches.
+	// traces, projections, conjugate transposes); same generation scheme
+	// as the caches.
 	ipTab   []ipSlot
 	trTab   []trSlot
 	projTab []projSlot
+	ctTab   []ctSlot
 
 	// cacheGen stamps valid cache/scratch entries; clearCaches bumps it
 	// so every stale entry expires at once. projGen is bumped per
@@ -49,6 +51,13 @@ type Engine struct {
 
 	// ctlBuf is GateDD's per-qubit control scratch, reused across calls.
 	ctlBuf []ctlKind
+
+	// noIdentitySkip disables the identity short-circuits in the
+	// multiplication kernels (see arith.go). The zero value — skipping
+	// enabled — is the production configuration; differential suites
+	// disable it to prove the optimised kernels are pointer-identical to
+	// the plain recursion.
+	noIdentitySkip bool
 
 	// Cooperative abort layer (see abort.go). armed caches whether any
 	// source below is live so the kernel probes cost one branch when
@@ -152,6 +161,16 @@ type Stats struct {
 	AddRecursions uint64
 	MulRecursions uint64
 
+	// Identity short-circuits taken by the multiplication kernels (see
+	// arith.go): IdentitySkipsMV counts mulVec calls answered as I·v = v,
+	// IdentitySkipsMM counts mulMat calls answered as I·b = b or a·I = a.
+	// IdentitySkipLevels accumulates the spans (levels) of the skipped
+	// identity sub-diagrams — the recursion depth the skips avoided — so
+	// skips near the root weigh more than skips near the terminal.
+	IdentitySkipsMV    uint64
+	IdentitySkipsMM    uint64
+	IdentitySkipLevels uint64
+
 	// CacheHits and CacheLookups aggregate the four per-cache counters
 	// below; Stats() fills them in for snapshot consumers.
 	CacheHits    uint64
@@ -254,6 +273,12 @@ type projSlot struct {
 	gen uint32
 }
 
+type ctSlot struct {
+	n   uint32
+	r   MEdge
+	gen uint32
+}
+
 // New returns an empty Engine ready for use.
 func New() *Engine {
 	return &Engine{
@@ -267,10 +292,22 @@ func New() *Engine {
 		ipTab:    make([]ipSlot, scratchSize),
 		trTab:    make([]trSlot, scratchSize),
 		projTab:  make([]projSlot, scratchSize),
+		ctTab:    make([]ctSlot, scratchSize),
 		cacheGen: 1,
 		projGen:  1,
 	}
 }
+
+// SetIdentitySkip enables or disables the identity short-circuits in
+// the multiplication kernels. Skipping is on by default and changes no
+// results — the short-circuits return the exact canonical edges the
+// plain recursion would — so disabling it is only useful to measure the
+// optimisation or to differential-test against the unoptimised kernels.
+func (e *Engine) SetIdentitySkip(enabled bool) { e.noIdentitySkip = !enabled }
+
+// IdentitySkipEnabled reports whether the multiplication kernels take
+// the identity short-circuits.
+func (e *Engine) IdentitySkipEnabled() bool { return !e.noIdentitySkip }
 
 // Stats returns a snapshot of the engine's counters, with the aggregate
 // cache fields derived from the per-cache ones.
@@ -410,6 +447,16 @@ func (e *Engine) makeMNode(v int32, es [4]MEdge) MEdge {
 	n.V = v
 	n.id = e.nextID
 	n.hash = h
+	// Normalisation makes the identity shape canonical — zero
+	// off-diagonals, both diagonal weights exactly one, shared diagonal
+	// child — so one O(1) comparison against the (already stamped) child
+	// classifies the fresh node. Derived, hence excluded from the
+	// unique-table key and hash; Audit's "identity-bit" check recomputes
+	// it.
+	n.isIdentity = es[1].W == cnum.Zero && es[2].W == cnum.Zero &&
+		es[0].W == cnum.One && es[3].W == cnum.One &&
+		es[0].N == es[3].N &&
+		(es[0].N == mTerminal || es[0].N.isIdentity)
 	e.nextID++
 	e.stats.NodesCreated++
 	e.mUnique.insertAt(slot, n)
@@ -545,6 +592,7 @@ func (e *Engine) clearCaches() {
 		e.mulMMTab = make([]mulMMSlot, cacheSize)
 		e.ipTab = make([]ipSlot, scratchSize)
 		e.trTab = make([]trSlot, scratchSize)
+		e.ctTab = make([]ctSlot, scratchSize)
 		e.cacheGen = 0
 	}
 	e.cacheGen++

@@ -49,6 +49,17 @@ type MNode struct {
 	id   uint32
 	mark uint32
 	hash uint32
+	// isIdentity marks nodes whose sub-diagram is exactly the identity
+	// on variables 0..V: zero off-diagonal quadrants, both diagonal
+	// weights exactly one, and a shared diagonal child that is itself
+	// identity (or the terminal). Stamped at interning time in makeMNode
+	// from the already-normalised edges, so the multiplication kernels
+	// can skip identity structure with a single field load (see
+	// arith.go). The bit is derived — it is NOT part of the unique-table
+	// key or the stored hash — and Audit recomputes it structurally (the
+	// "identity-bit" check), which is the only way a corrupted bit is
+	// caught.
+	isIdentity bool
 }
 
 // VEdge is a weighted edge into a vector DD. The amplitude of a basis
@@ -102,6 +113,13 @@ func (e VEdge) Var() int { return int(e.N.V) }
 // Var returns the variable of the node under the edge (-1 for the
 // terminal).
 func (e MEdge) Var() int { return int(e.N.V) }
+
+// IsIdentity reports whether the sub-diagram under the edge is the
+// identity matrix on its span (the edge weight still applies as a
+// scalar factor, so the edge as a whole represents W·I). The terminal
+// counts: it is the identity on zero qubits. O(1) — it reads the bit
+// stamped by makeMNode.
+func (e MEdge) IsIdentity() bool { return e.N == mTerminal || e.N.isIdentity }
 
 // Qubits returns the number of qubits the diagram under e spans
 // (its root variable + 1; 0 for a terminal edge).

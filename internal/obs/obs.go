@@ -131,13 +131,20 @@ type Event struct {
 
 	// Top-level multiplication counts (the paper's Eq. 1 vs Eq. 2
 	// trade) and engine cache/allocation/GC activity.
-	MatVecMuls   uint64 `json:"matvec_muls,omitempty"`
-	MatMatMuls   uint64 `json:"matmat_muls,omitempty"`
-	CacheLookups uint64 `json:"cache_lookups,omitempty"`
-	CacheHits    uint64 `json:"cache_hits,omitempty"`
-	NodesCreated uint64 `json:"nodes_created,omitempty"`
-	GCs          uint64 `json:"gcs,omitempty"`
-	GCPauseNS    int64  `json:"gc_pause_ns,omitempty"`
+	MatVecMuls uint64 `json:"matvec_muls,omitempty"`
+	MatMatMuls uint64 `json:"matmat_muls,omitempty"`
+	// MulRecursions counts multiplication-kernel recursion steps and
+	// IdentitySkipsMV/MM the identity short-circuits taken inside them
+	// (see dd.Stats); together they show how much recursion the
+	// identity-aware kernels avoided per step / per run.
+	MulRecursions   uint64 `json:"mul_recursions,omitempty"`
+	IdentitySkipsMV uint64 `json:"identity_skips_mv,omitempty"`
+	IdentitySkipsMM uint64 `json:"identity_skips_mm,omitempty"`
+	CacheLookups    uint64 `json:"cache_lookups,omitempty"`
+	CacheHits       uint64 `json:"cache_hits,omitempty"`
+	NodesCreated    uint64 `json:"nodes_created,omitempty"`
+	GCs             uint64 `json:"gcs,omitempty"`
+	GCPauseNS       int64  `json:"gc_pause_ns,omitempty"`
 	// GCFreed is the number of nodes reclaimed (KindGC only).
 	GCFreed int `json:"gc_freed,omitempty"`
 
