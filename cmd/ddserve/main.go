@@ -1,0 +1,121 @@
+// Command ddserve runs the simulation-as-a-service daemon: an HTTP
+// server that accepts circuit jobs (OpenQASM 2.0 or the native
+// format), executes them on a bounded priority worker pool, and
+// journals every job durably so a crashed server restarts and resumes
+// in-flight work from its last checkpoint.
+//
+// Usage:
+//
+//	ddserve -dir /var/lib/ddserve                    # journal location
+//	ddserve -addr :8344 -workers 8 -queue 256
+//	ddserve -max-nodes 4000000 -checkpoint-every 256 -retries 4
+//
+// Submit and poll with curl:
+//
+//	curl -d '{"qasm":"OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];","shots":100}' \
+//	     localhost:8344/v1/jobs
+//	curl localhost:8344/v1/jobs/j00000001/result
+//
+// Shutdown: SIGTERM (or SIGINT) drains gracefully — admission stops
+// (503 + Retry-After), running jobs are checkpointed and parked, and
+// the process exits once the pool is quiet or -drain-timeout expires.
+// Parked and queued jobs resume on the next start against the same
+// -dir. kill -9 loses nothing either: the journal re-admits every
+// non-terminal job from its last durable checkpoint.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/serve/retry"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8344", "listen address")
+		dir        = flag.String("dir", "", "journal directory (required); jobs survive restarts here")
+		workers    = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 256, "admission queue bound; beyond it submissions get 429")
+		maxNodes   = flag.Int("max-nodes", 0, "server-wide live-node budget, split across workers (0 = unlimited)")
+		ckptEvery  = flag.Int("checkpoint-every", 256, "periodic checkpoint interval in applied gates (-1 disables)")
+		retries    = flag.Int("retries", 4, "max attempts per job (first try included)")
+		retryBase  = flag.Duration("retry-base", 100*time.Millisecond, "backoff before the first retry")
+		retryMax   = flag.Duration("retry-max", 30*time.Second, "backoff cap")
+		perClient  = flag.Int("per-client", 0, "active-job quota per client (0 = queue/4, -1 disables)")
+		breakAfter = flag.Int("break-after", 5, "consecutive terminal failures that open a client's breaker (-1 disables)")
+		breakCool  = flag.Duration("break-cooldown", 30*time.Second, "circuit-breaker cooldown")
+		drainTmo   = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for running jobs to checkpoint and park")
+		maxBody    = flag.Int64("max-body", 1<<20, "request body cap in bytes")
+		maxQubits  = flag.Int("max-qubits", 30, "widest accepted circuit")
+		maxGates   = flag.Int("max-gates", 1<<20, "longest accepted circuit (gates after expansion)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "ddserve: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "ddserve: ", log.LstdFlags)
+	srv, err := serve.New(serve.Config{
+		Dir:              *dir,
+		Workers:          *workers,
+		Queue:            *queue,
+		MaxNodes:         *maxNodes,
+		CheckpointEvery:  *ckptEvery,
+		Retry:            retry.Policy{Base: *retryBase, Max: *retryMax, Attempts: *retries},
+		PerClientActive:  *perClient,
+		BreakerThreshold: *breakAfter,
+		BreakerCooldown:  *breakCool,
+		Caps: serve.Caps{
+			MaxBodyBytes: *maxBody,
+			MaxQubits:    *maxQubits,
+			MaxGates:     *maxGates,
+		},
+		Registry: obs.NewRegistry(),
+		Logf: func(format string, args ...any) {
+			logger.Printf(format, args...)
+		},
+	})
+	if err != nil {
+		logger.Fatalf("start: %v", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: serve.Handler(srv)}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Printf("listening on %s, journal in %s", *addr, *dir)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		logger.Fatalf("listen: %v", err)
+	case got := <-sig:
+		logger.Printf("%s: draining (timeout %s)", got, *drainTmo)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTmo)
+	defer cancel()
+	// Stop admitting first (readyz flips, running jobs checkpoint and
+	// park), then close the listener.
+	drainErr := srv.Drain(ctx)
+	if err := hs.Shutdown(ctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		logger.Printf("drain: %v (parked what it could)", drainErr)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}

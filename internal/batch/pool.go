@@ -1,0 +1,329 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Pool is the long-lived counterpart of Run: a persistent bounded
+// worker pool with priority classes, built for daemons (ddserve) that
+// accept work over time instead of executing one fixed slice of jobs.
+//
+// Guarantees:
+//
+//   - Bounded admission: TrySubmit refuses work once the queue holds
+//     Queue tasks (ErrQueueFull) — callers shed load instead of
+//     growing memory. Requeue bypasses the cap for work that was
+//     already admitted (retries, crash-recovered jobs), so its memory
+//     use is bounded by past admissions, not by new traffic.
+//   - Strict priority: workers always pick the highest non-empty
+//     class; within a class, TrySubmit appends (FIFO) and Requeue
+//     prepends (a retried task is older than anything queued behind it).
+//   - Drain: stops intake, hands back the tasks that never started,
+//     and waits for running tasks to return. Kill cancels the context
+//     running tasks received and abandons them — the in-process
+//     rehearsal of a kill -9.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [numPriorities][]Task
+	queued  int
+	running int
+	cap     int
+	closed  bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	met *poolPersistentMetrics
+}
+
+// Priority orders Pool tasks: lower values run first.
+type Priority uint8
+
+const (
+	// PriorityNormal is the default class (the Task zero value).
+	PriorityNormal Priority = iota
+	// PriorityHigh is for interactive, latency-sensitive work.
+	PriorityHigh
+	// PriorityLow is for background work that may wait indefinitely
+	// behind the other classes.
+	PriorityLow
+	numPriorities
+)
+
+// scanOrder is the order workers (and Drain) visit the class queues:
+// high first, low last.
+var scanOrder = [numPriorities]Priority{PriorityHigh, PriorityNormal, PriorityLow}
+
+// String returns the class's metric label.
+func (p Priority) String() string {
+	switch p {
+	case PriorityHigh:
+		return "high"
+	case PriorityNormal:
+		return "normal"
+	case PriorityLow:
+		return "low"
+	}
+	return "invalid"
+}
+
+// Task is one unit of pool work. Run receives the pool's context —
+// cancelled by Kill, not by Drain — and the index of the worker
+// executing it.
+type Task struct {
+	Priority Priority
+	Run      func(ctx context.Context, worker int)
+}
+
+// PoolOptions configures NewPool.
+type PoolOptions struct {
+	// Workers is the number of worker goroutines; <= 0 selects 1.
+	Workers int
+	// Queue bounds the number of tasks waiting to run (running tasks
+	// do not count); <= 0 selects 64.
+	Queue int
+	// Metrics, when set, receives the pool's instruments: per-class
+	// queue-depth gauges, a running-tasks gauge, and per-class
+	// submitted/rejected/completed counters.
+	Metrics *obs.Registry
+}
+
+// Pool admission errors; match with errors.Is.
+var (
+	// ErrQueueFull reports that TrySubmit found the queue at capacity.
+	ErrQueueFull = errors.New("batch: pool queue full")
+	// ErrPoolClosed reports a submit after Drain or Kill.
+	ErrPoolClosed = errors.New("batch: pool closed")
+)
+
+type poolPersistentMetrics struct {
+	depth     [numPriorities]*obs.Gauge
+	submitted [numPriorities]*obs.Counter
+	rejected  *obs.Counter
+	running   *obs.Gauge
+	completed *obs.Counter
+}
+
+func newPoolPersistentMetrics(r *obs.Registry) *poolPersistentMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &poolPersistentMetrics{
+		rejected:  r.Counter("pool_tasks_rejected_total", "Tasks refused by TrySubmit because the queue was full."),
+		running:   r.Gauge("pool_tasks_running", "Tasks currently executing on pool workers."),
+		completed: r.Counter("pool_tasks_completed_total", "Tasks that finished executing (regardless of outcome)."),
+	}
+	for p := Priority(0); p < numPriorities; p++ {
+		m.depth[p] = r.Gauge(obs.Label("pool_queue_depth", "class", p.String()),
+			"Tasks queued per priority class.")
+		m.submitted[p] = r.Counter(obs.Label("pool_tasks_submitted_total", "class", p.String()),
+			"Tasks admitted per priority class (TrySubmit and Requeue).")
+	}
+	return m
+}
+
+// NewPool starts the workers and returns the pool.
+func NewPool(opt PoolOptions) *Pool {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	capacity := opt.Queue
+	if capacity <= 0 {
+		capacity = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{cap: capacity, ctx: ctx, cancel: cancel, met: newPoolPersistentMetrics(opt.Metrics)}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// TrySubmit admits t unless the queue is at capacity or the pool is
+// closed. It never blocks: a full queue is the caller's signal to
+// shed load.
+func (p *Pool) TrySubmit(t Task) error {
+	return p.submit(t, false)
+}
+
+// Requeue admits t even when the queue is over capacity, at the front
+// of its priority class. It exists for re-admitting work the pool (or
+// a previous process) already accepted — backoff retries and
+// journal-recovered jobs must not be shed by admission control.
+func (p *Pool) Requeue(t Task) error {
+	return p.submit(t, true)
+}
+
+func (p *Pool) submit(t Task, requeue bool) error {
+	if t.Run == nil {
+		return errors.New("batch: nil task")
+	}
+	if t.Priority >= numPriorities {
+		t.Priority = PriorityLow
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	if !requeue && p.queued >= p.cap {
+		if p.met != nil {
+			p.met.rejected.Inc()
+		}
+		return ErrQueueFull
+	}
+	q := &p.queues[t.Priority]
+	if requeue {
+		*q = append([]Task{t}, *q...)
+	} else {
+		*q = append(*q, t)
+	}
+	p.queued++
+	if p.met != nil {
+		p.met.depth[t.Priority].Add(1)
+		p.met.submitted[t.Priority].Inc()
+	}
+	p.cond.Signal()
+	return nil
+}
+
+// Depth returns the number of queued (not yet running) tasks.
+func (p *Pool) Depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued
+}
+
+// Running returns the number of tasks currently executing.
+func (p *Pool) Running() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running
+}
+
+// Capacity returns the queue bound.
+func (p *Pool) Capacity() int { return p.cap }
+
+// worker pops the highest-priority task and runs it. Task panics are
+// recovered so one bad task cannot take a worker down with it.
+func (p *Pool) worker(idx int) {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for p.queued == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.queued == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		var t Task
+		for _, pri := range scanOrder {
+			if q := p.queues[pri]; len(q) > 0 {
+				t = q[0]
+				p.queues[pri] = q[1:]
+				break
+			}
+		}
+		p.queued--
+		p.running++
+		if p.met != nil {
+			p.met.depth[t.Priority].Add(-1)
+			p.met.running.Add(1)
+		}
+		p.mu.Unlock()
+
+		p.runTask(t, idx)
+
+		p.mu.Lock()
+		p.running--
+		if p.met != nil {
+			p.met.running.Add(-1)
+			p.met.completed.Inc()
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *Pool) runTask(t Task, worker int) {
+	defer func() { recover() }()
+	t.Run(p.ctx, worker)
+}
+
+// Drain closes the pool gracefully: intake stops (submits return
+// ErrPoolClosed), the tasks that never started are removed and
+// returned to the caller in priority-then-FIFO order, and Drain waits
+// for the running tasks to finish — until ctx is done, in which case
+// it stops waiting and returns the context's error alongside the
+// unstarted tasks. It is the caller's job to interrupt long-running
+// tasks (ddserve cancels each job's context to trigger
+// checkpoint-and-park).
+func (p *Pool) Drain(ctx context.Context) ([]Task, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	p.closed = true
+	var left []Task
+	for _, pri := range scanOrder {
+		left = append(left, p.queues[pri]...)
+		if p.met != nil {
+			p.met.depth[pri].Set(0)
+		}
+		p.queues[pri] = nil
+	}
+	p.queued = 0
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-done:
+		return left, nil
+	case <-ctx.Done():
+		return left, ctx.Err()
+	}
+}
+
+// Kill closes the pool abruptly: intake stops, queued tasks are
+// dropped, and the context every running task received is cancelled.
+// Kill does not wait for the tasks to notice — it is the in-process
+// stand-in for the process dying.
+func (p *Pool) Kill() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		for pri := Priority(0); pri < numPriorities; pri++ {
+			p.queues[pri] = nil
+			if p.met != nil {
+				p.met.depth[pri].Set(0)
+			}
+		}
+		p.queued = 0
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	p.cancel()
+}
+
+// Wait blocks until every worker goroutine has exited (after Drain or
+// Kill plus task completion). Exposed for tests that must observe full
+// quiescence.
+func (p *Pool) Wait() { p.wg.Wait() }

@@ -1,0 +1,268 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestPoolRunsSubmittedTasks: every admitted task runs exactly once.
+func TestPoolRunsSubmittedTasks(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 4, Queue: 100})
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		err := p.TrySubmit(Task{Run: func(context.Context, int) {
+			n.Add(1)
+			wg.Done()
+		}})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if got := n.Load(); got != 50 {
+		t.Fatalf("ran %d tasks, want 50", got)
+	}
+	if _, err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestPoolBoundedAdmission: TrySubmit sheds load at capacity while
+// Requeue still admits; the shed is reported as ErrQueueFull.
+func TestPoolBoundedAdmission(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, Queue: 2})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	// Occupy the single worker so queued tasks stay queued.
+	if err := p.TrySubmit(Task{Run: func(context.Context, int) { <-release; wg.Done() }}); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	// Wait until the blocker is running (queue empty again).
+	for p.Running() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		if err := p.TrySubmit(Task{Run: func(context.Context, int) { wg.Done() }}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if err := p.TrySubmit(Task{Run: func(context.Context, int) {}}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit over capacity = %v, want ErrQueueFull", err)
+	}
+	wg.Add(1)
+	if err := p.Requeue(Task{Run: func(context.Context, int) { wg.Done() }}); err != nil {
+		t.Fatalf("requeue over capacity: %v", err)
+	}
+	close(release)
+	wg.Wait()
+	p.Drain(context.Background())
+}
+
+// TestPoolPriorityOrder: with one worker, queued tasks run in strict
+// class order (high before normal before low) and Requeue lands at
+// the front of its class.
+func TestPoolPriorityOrder(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, Queue: 16})
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	record := func(name string) Task {
+		return Task{Run: func(context.Context, int) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			wg.Done()
+		}}
+	}
+	wg.Add(1)
+	p.TrySubmit(Task{Run: func(context.Context, int) { <-release; wg.Done() }})
+	for p.Running() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	submit := func(name string, pri Priority, requeue bool) {
+		tk := record(name)
+		tk.Priority = pri
+		wg.Add(1)
+		var err error
+		if requeue {
+			err = p.Requeue(tk)
+		} else {
+			err = p.TrySubmit(tk)
+		}
+		if err != nil {
+			t.Fatalf("submit %s: %v", name, err)
+		}
+	}
+	submit("low1", PriorityLow, false)
+	submit("norm1", PriorityNormal, false)
+	submit("high1", PriorityHigh, false)
+	submit("norm2", PriorityNormal, false)
+	submit("norm0", PriorityNormal, true) // requeued: front of normal
+	close(release)
+	wg.Wait()
+	want := []string{"high1", "norm0", "norm1", "norm2", "low1"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	p.Drain(context.Background())
+}
+
+// TestPoolDrain: drain stops intake, returns unstarted tasks, and
+// waits for running ones.
+func TestPoolDrain(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, Queue: 16})
+	release := make(chan struct{})
+	var finished atomic.Bool
+	p.TrySubmit(Task{Run: func(context.Context, int) {
+		<-release
+		finished.Store(true)
+	}})
+	for p.Running() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	p.TrySubmit(Task{Priority: PriorityLow, Run: func(context.Context, int) { t.Error("shed task ran") }})
+	p.TrySubmit(Task{Priority: PriorityHigh, Run: func(context.Context, int) { t.Error("shed task ran") }})
+
+	drained := make(chan []Task, 1)
+	go func() {
+		left, err := p.Drain(context.Background())
+		if err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		drained <- left
+	}()
+	// Drain must be blocked on the running task.
+	select {
+	case <-drained:
+		t.Fatal("drain returned while a task was still running")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := p.TrySubmit(Task{Run: func(context.Context, int) {}}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after drain = %v, want ErrPoolClosed", err)
+	}
+	close(release)
+	left := <-drained
+	if !finished.Load() {
+		t.Fatal("drain returned before the running task finished")
+	}
+	if len(left) != 2 {
+		t.Fatalf("drain returned %d unstarted tasks, want 2", len(left))
+	}
+	if left[0].Priority != PriorityHigh || left[1].Priority != PriorityLow {
+		t.Fatalf("unstarted tasks out of priority order: %v, %v", left[0].Priority, left[1].Priority)
+	}
+}
+
+// TestPoolDrainTimeout: a context deadline stops the wait without
+// hanging.
+func TestPoolDrainTimeout(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1})
+	release := make(chan struct{})
+	p.TrySubmit(Task{Run: func(context.Context, int) { <-release }})
+	for p.Running() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := p.Drain(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain under deadline = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	p.Wait()
+}
+
+// TestPoolKillCancelsRunningTasks: Kill cancels the task context and
+// drops the queue.
+func TestPoolKillCancelsRunningTasks(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, Queue: 8})
+	cancelled := make(chan struct{})
+	p.TrySubmit(Task{Run: func(ctx context.Context, _ int) {
+		<-ctx.Done()
+		close(cancelled)
+	}})
+	for p.Running() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	p.TrySubmit(Task{Run: func(context.Context, int) { t.Error("queued task ran after Kill") }})
+	p.Kill()
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("running task never saw cancellation after Kill")
+	}
+	p.Wait()
+	if err := p.TrySubmit(Task{Run: func(context.Context, int) {}}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after kill = %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolTaskPanicDoesNotKillWorker: a panicking task is recovered
+// and the worker keeps serving.
+func TestPoolTaskPanicDoesNotKillWorker(t *testing.T) {
+	p := NewPool(PoolOptions{Workers: 1, Queue: 8})
+	p.TrySubmit(Task{Run: func(context.Context, int) { panic("task bug") }})
+	done := make(chan struct{})
+	p.TrySubmit(Task{Run: func(context.Context, int) { close(done) }})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker died with the panicking task")
+	}
+	p.Drain(context.Background())
+}
+
+// TestPoolInstruments: the pool's metrics reflect admissions,
+// rejections and completion. (batch_test.go's TestPoolMetrics covers
+// the one-shot Run pool's per-worker instruments.)
+func TestPoolInstruments(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(PoolOptions{Workers: 1, Queue: 1, Metrics: reg})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	p.TrySubmit(Task{Run: func(context.Context, int) { <-release; wg.Done() }})
+	for p.Running() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	p.TrySubmit(Task{Run: func(context.Context, int) { wg.Done() }})
+	if err := p.TrySubmit(Task{Run: func(context.Context, int) {}}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	close(release)
+	wg.Wait()
+	p.Drain(context.Background())
+
+	snap := map[string]float64{}
+	for _, m := range reg.Snapshot() {
+		snap[m.Name] = m.Value
+	}
+	if got := snap[obs.Label("pool_tasks_submitted_total", "class", "normal")]; got != 2 {
+		t.Errorf("submitted{normal} = %v, want 2", got)
+	}
+	if got := snap["pool_tasks_rejected_total"]; got != 1 {
+		t.Errorf("rejected = %v, want 1", got)
+	}
+	if got := snap["pool_tasks_completed_total"]; got != 2 {
+		t.Errorf("completed = %v, want 2", got)
+	}
+	if got := snap[obs.Label("pool_queue_depth", "class", "normal")]; got != 0 {
+		t.Errorf("queue depth after drain = %v, want 0", got)
+	}
+}

@@ -29,6 +29,12 @@ import (
 // Base gate mnemonics: i x y z h s sdg t tdg sx sy swap p(θ) rx(θ) ry(θ)
 // rz(θ) u(θ,φ,λ). swap takes two operands and is decomposed into CXs.
 
+// maxGateExpansion bounds the gate count a repeat block may expand to
+// — the same 1M limit the OpenQASM parser enforces, so a small hostile
+// input cannot balloon into gigabytes of gate storage. (Programmatic
+// circuit construction is unaffected.)
+const maxGateExpansion = 1 << 20
+
 // Parse reads a circuit from r in the textual format.
 func Parse(r io.Reader) (*Circuit, error) {
 	sc := bufio.NewScanner(r)
@@ -103,6 +109,9 @@ func Parse(r io.Reader) (*Circuit, error) {
 			end := len(c.Gates)
 			if end == fr.start {
 				return nil, fmt.Errorf("line %d: empty repeat block opened at line %d", lineNo, fr.line)
+			}
+			if total := int64(fr.start) + int64(end-fr.start)*int64(fr.count); total > maxGateExpansion {
+				return nil, fmt.Errorf("line %d: repeat expands to %d gates (limit %d)", lineNo, total, maxGateExpansion)
 			}
 			body := append([]Gate(nil), c.Gates[fr.start:end]...)
 			for i := 1; i < fr.count; i++ {

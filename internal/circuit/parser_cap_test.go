@@ -1,0 +1,28 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseRepeatExpansionCap: a tiny input must not expand past the
+// 1M-gate limit (mirrors the OpenQASM parser's cap).
+func TestParseRepeatExpansionCap(t *testing.T) {
+	_, err := ParseString("qubits 1\nrepeat 2000000000\nh 0\nendrepeat\n")
+	if err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("unbounded repeat accepted: %v", err)
+	}
+	// Nested blocks are checked at every level.
+	_, err = ParseString("qubits 1\nrepeat 2000\nrepeat 2000\nh 0\nendrepeat\nendrepeat\n")
+	if err == nil {
+		t.Fatal("nested repeat blowup accepted")
+	}
+	// Within the cap still works.
+	c, err := ParseString("qubits 1\nrepeat 1000\nh 0\nendrepeat\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1000 {
+		t.Fatalf("expanded to %d gates, want 1000", len(c.Gates))
+	}
+}

@@ -435,7 +435,7 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 		var re *RunError
 		if errors.As(err, &re) {
 			if cerr := opt.OnCheckpoint(r.checkpoint()); cerr != nil {
-				err = errors.Join(err, fmt.Errorf("core: abort checkpoint: %w", cerr))
+				err = errors.Join(err, fmt.Errorf("%w: abort checkpoint: %w", ErrCheckpointWrite, cerr))
 			} else if ro != nil {
 				ro.checkpointEv(r.applied)
 			}
@@ -861,7 +861,7 @@ func (r *runner) maybeCheckpoint() error {
 	}
 	r.lastCkpt = r.applied
 	if err := r.opt.OnCheckpoint(r.checkpoint()); err != nil {
-		return fmt.Errorf("core: checkpoint at gate %d: %w", r.applied, err)
+		return fmt.Errorf("%w: at gate %d: %w", ErrCheckpointWrite, r.applied, err)
 	}
 	if r.obs != nil {
 		r.obs.checkpointEv(r.applied)

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	mk := func(k FailureKind, sentinel error) error {
+		return &RunError{Kind: k, Err: sentinel}
+	}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"injected", mk(FailureInjected, ErrInjectedAbort), true},
+		{"budget", mk(FailureBudget, ErrBudgetExceeded), true},
+		{"panic", mk(FailurePanic, errors.New("recovered panic")), true},
+		{"deadline", mk(FailureDeadline, ErrDeadlineExceeded), false},
+		{"canceled", mk(FailureCanceled, ErrCanceled), false},
+		{"corruption", mk(FailureCorruption, ErrCorruption), false},
+		{"plain error", errors.New("bad config"), false},
+		{"wrapped run error", fmt.Errorf("outer: %w", mk(FailureInjected, ErrInjectedAbort)), true},
+		// A checkpoint-write failure joined onto an otherwise retryable
+		// abort must poison the retry: the journal medium is broken.
+		{"injected + checkpoint write", errors.Join(
+			mk(FailureInjected, ErrInjectedAbort),
+			fmt.Errorf("%w: disk full", ErrCheckpointWrite)), false},
+		{"checkpoint write alone", fmt.Errorf("%w: disk full", ErrCheckpointWrite), false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCheckpointWriteFailureWrapsSentinel: both checkpoint-persistence
+// failure paths (periodic and on-abort) must surface
+// ErrCheckpointWrite so the serving layer can refuse to retry them.
+func TestCheckpointWriteFailureWrapsSentinel(t *testing.T) {
+	c := circuit.New(3)
+	for i := 0; i < 30; i++ {
+		c.H(i%3).CX(0, (i%2)+1)
+	}
+	boom := errors.New("disk full")
+
+	// Periodic path: the callback fails mid-run.
+	_, err := Run(c, Options{
+		CheckpointEvery: 1,
+		OnCheckpoint:    func(*Checkpoint) error { return boom },
+	})
+	if !errors.Is(err, ErrCheckpointWrite) || !errors.Is(err, boom) {
+		t.Fatalf("periodic checkpoint failure = %v, want ErrCheckpointWrite wrapping cause", err)
+	}
+	if Retryable(err) {
+		t.Fatal("periodic checkpoint-write failure classified retryable")
+	}
+
+	// Abort path: the run aborts (deadline in the past) and the abort
+	// checkpoint cannot be written.
+	_, err = Run(c, Options{
+		Deadline:     time.Now().Add(-time.Second),
+		OnCheckpoint: func(*Checkpoint) error { return boom },
+	})
+	if !errors.Is(err, ErrCheckpointWrite) || !errors.Is(err, boom) {
+		t.Fatalf("abort checkpoint failure = %v, want ErrCheckpointWrite wrapping cause", err)
+	}
+	if Retryable(err) {
+		t.Fatal("abort checkpoint-write failure classified retryable")
+	}
+}

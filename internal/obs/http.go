@@ -1,0 +1,19 @@
+package obs
+
+import "net/http"
+
+// Handler exposes a registry in the Prometheus text exposition format
+// — the /metrics endpoint of ddserve and anything else that wants one.
+// A nil registry serves an empty (but valid) exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r == nil {
+			return
+		}
+		if err := r.WritePrometheus(w); err != nil {
+			// Headers are already out; nothing useful left to do.
+			return
+		}
+	})
+}

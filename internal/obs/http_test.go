@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerServesPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_total", "A demo counter.").Add(3)
+	r.Gauge(Label("demo_depth", "class", "high"), "A labelled gauge.").Set(2)
+
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	for _, want := range []string{"demo_total 3", `demo_depth{class="high"} 2`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}

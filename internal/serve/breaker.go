@@ -1,0 +1,58 @@
+package serve
+
+import "time"
+
+// breaker is a per-client circuit breaker over terminal job outcomes.
+// A client whose jobs keep failing permanently stops being admitted
+// for a cooldown, instead of burning pool capacity and retry budget on
+// work that is probably broken at the source.
+//
+// States (tracked implicitly):
+//
+//	closed    consecutive < threshold: admit everything
+//	open      now < openUntil: reject with the remaining cooldown
+//	half-open cooldown expired but consecutive >= threshold: admit, and
+//	          the next terminal outcome decides — success closes the
+//	          breaker, failure re-opens it for a full cooldown
+//
+// The caller provides the clock and holds the lock (the server's
+// mutex); breaker itself is not goroutine-safe.
+type breaker struct {
+	threshold int // consecutive terminal failures that open the breaker
+	cooldown  time.Duration
+
+	consecutive int
+	openUntil   time.Time
+}
+
+// allow reports whether a submission may proceed; when it may not,
+// retryAfter is the remaining cooldown.
+func (b *breaker) allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.threshold <= 0 {
+		return true, 0
+	}
+	if now.Before(b.openUntil) {
+		return false, b.openUntil.Sub(now)
+	}
+	return true, 0
+}
+
+// onSuccess records a terminal success, closing the breaker.
+func (b *breaker) onSuccess() {
+	b.consecutive = 0
+	b.openUntil = time.Time{}
+}
+
+// onFailure records a terminal failure; at threshold the breaker
+// opens. consecutive is deliberately not reset on open: after the
+// cooldown the breaker is half-open, and one more failure re-opens it
+// immediately.
+func (b *breaker) onFailure(now time.Time) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+	}
+}

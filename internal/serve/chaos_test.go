@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/dd"
+	"repro/internal/obs"
+)
+
+// TestServeChaosInjectedFaultsBecomeRetries: with fault injection
+// armed (DD_CHAOS=1), an injected abort on a job's first attempt must
+// surface as a scheduled retry that succeeds — never as a terminal
+// failure or an HTTP 500. This is the serving layer's contract with
+// core.Retryable: chaos-class faults are transient.
+func TestServeChaosInjectedFaultsBecomeRetries(t *testing.T) {
+	t.Setenv("DD_CHAOS", "1")
+	reg := obs.NewRegistry()
+	cfg := testConfig(t.TempDir())
+	cfg.Registry = reg
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+	// Arm an injected abort partway into every job's first attempt;
+	// later attempts run clean.
+	s.armEngine = func(id string, attempt int, eng *dd.Engine) {
+		if attempt == 1 {
+			if !eng.InjectAbortAfter(40, dd.AbortInjected) {
+				t.Error("fault injection did not arm despite DD_CHAOS=1")
+			}
+		}
+	}
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	body := `{"circuit":` + jsonStr(testCircuit(8, 300)) + `,"shots":16,"seed":5}`
+	resp, st := submitJSON(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	final := waitTerminal(t, s, st.ID, 30*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("chaos job = %+v; injected faults must be retried, not failed", final)
+	}
+	if final.Attempt != 2 {
+		t.Fatalf("chaos job finished on attempt %d, want 2 (one injected abort, one clean run)", final.Attempt)
+	}
+
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("result after chaos = %d, want 200 (not a 5xx)", rr.StatusCode)
+	}
+
+	snap := map[string]float64{}
+	for _, m := range reg.Snapshot() {
+		snap[m.Name] = m.Value
+	}
+	if snap["serve_job_retries_total"] != 1 {
+		t.Fatalf("retries = %v, want 1", snap["serve_job_retries_total"])
+	}
+	if snap["serve_jobs_failed_total"] != 0 {
+		t.Fatalf("failed = %v, want 0", snap["serve_jobs_failed_total"])
+	}
+}
+
+// TestServeChaosRetryBudgetExhaustion: a fault injected on every
+// attempt burns the retry budget and then fails the job — bounded
+// retries, no infinite loop.
+func TestServeChaosRetryBudgetExhaustion(t *testing.T) {
+	t.Setenv("DD_CHAOS", "1")
+	s, err := New(testConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+	s.armEngine = func(id string, attempt int, eng *dd.Engine) {
+		eng.InjectAbortAfter(40, dd.AbortInjected)
+	}
+
+	spec, circ, derr := DecodeJobRequest([]byte(`{"circuit":`+jsonStr(testCircuit(8, 300))+`}`), s.cfg.Caps)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	st, err := s.Submit(spec, circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, s, st.ID, 30*time.Second)
+	if final.State != StateFailed || final.ErrorKind != "injected" {
+		t.Fatalf("always-faulting job = %+v, want failed/injected", final)
+	}
+	if final.Attempt != fastRetry.MaxAttempts() {
+		t.Fatalf("attempts = %d, want %d", final.Attempt, fastRetry.MaxAttempts())
+	}
+}

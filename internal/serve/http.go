@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// StatusClientClosedRequest is the (nginx-conventional) status for a
+// job that failed because the client canceled it.
+const StatusClientClosedRequest = 499
+
+// Handler returns the ddserve HTTP API:
+//
+//	POST   /v1/jobs          submit a job (202 + status)
+//	GET    /v1/jobs          list jobs
+//	GET    /v1/jobs/{id}     job status
+//	GET    /v1/jobs/{id}/result  terminal outcome (summary or mapped error)
+//	DELETE /v1/jobs/{id}     cancel
+//	GET    /healthz          liveness (always 200 while the process serves)
+//	GET    /readyz           readiness (503 once draining)
+//	GET    /metrics          Prometheus text format
+//
+// Failure kinds map onto statuses the way ddsim maps them onto exit
+// codes: deadline→504, budget→507, canceled→499, corruption and the
+// rest→500. Load shedding answers 429 with Retry-After; drain and open
+// circuit breakers answer 503 with Retry-After.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.List()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Status(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		handleResult(s, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Cancel(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	})
+	mux.Handle("GET /metrics", obs.Handler(s.Metrics()))
+	return mux
+}
+
+func handleSubmit(s *Server, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.Caps.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", mbe.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	spec, circ, err := DecodeJobRequest(body, s.cfg.Caps)
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	st, err := s.Submit(spec, circ)
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleResult renders a terminal job as its summary (done) or its
+// failure mapped to an HTTP status; non-terminal jobs answer 202 so
+// clients can poll the same URL until the job settles.
+func handleResult(s *Server, w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	switch st.State {
+	case StateDone:
+		writeJSON(w, http.StatusOK, st)
+	case StateFailed:
+		writeJSON(w, statusForKind(st.ErrorKind), st)
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+// statusForKind maps a recorded failure kind to the response status —
+// the HTTP face of ddsim's exit-code table (3 deadline, 4 budget,
+// 5 canceled, 6 panic/injected, 7 corruption).
+func statusForKind(kind string) int {
+	switch kind {
+	case "deadline":
+		return http.StatusGatewayTimeout // 504
+	case "budget":
+		return http.StatusInsufficientStorage // 507
+	case "canceled":
+		return StatusClientClosedRequest // 499
+	case "corruption", "checkpoint-write", "panic", "injected":
+		return http.StatusInternalServerError
+	}
+	return http.StatusInternalServerError
+}
+
+func writeRequestError(w http.ResponseWriter, err error) {
+	var re *RequestError
+	if errors.As(err, &re) {
+		if re.RetryAfter > 0 {
+			secs := int64(re.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
+		writeError(w, re.Status, re.Msg)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err.Error())
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// journal is ddserve's write-ahead job store. Layout under root:
+//
+//	jobs/<id>/job.json    immutable spec, written before the job is
+//	                      acknowledged (the WAL write)
+//	jobs/<id>/state.json  lifecycle record, rewritten atomically on
+//	                      every transition
+//	jobs/<id>/ckpt.bin    latest DDCKPT2 resume checkpoint (periodic
+//	                      and abort-time), written by core.SaveCheckpoint
+//	jobs/<id>/result.bin  final state as a DDCKPT2 file, written before
+//	                      the terminal "done" record
+//
+// Every file is installed with the temp-file + fsync + rename +
+// parent-dir-sync dance, so after a crash each job directory holds a
+// consistent prefix of its history: the journal never lies about what
+// was acknowledged, only (at worst) forgets progress since the last
+// checkpoint — which recovery re-runs.
+type journal struct {
+	root string
+}
+
+func openJournal(root string) (*journal, error) {
+	if root == "" {
+		return nil, errors.New("serve: journal dir required")
+	}
+	if err := os.MkdirAll(filepath.Join(root, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	return &journal{root: root}, nil
+}
+
+func (j *journal) jobDir(id string) string     { return filepath.Join(j.root, "jobs", id) }
+func (j *journal) specPath(id string) string   { return filepath.Join(j.jobDir(id), "job.json") }
+func (j *journal) statePath(id string) string  { return filepath.Join(j.jobDir(id), "state.json") }
+func (j *journal) ckptPath(id string) string   { return filepath.Join(j.jobDir(id), "ckpt.bin") }
+func (j *journal) resultPath(id string) string { return filepath.Join(j.jobDir(id), "result.bin") }
+
+// appendJob durably records a newly admitted job: directory, spec,
+// then initial state record. This is the write that must complete
+// before the client sees 202.
+func (j *journal) appendJob(spec *JobSpec, st *JobStatus) error {
+	dir := j.jobDir(st.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := atomicWriteJSON(j.specPath(st.ID), spec); err != nil {
+		return err
+	}
+	return atomicWriteJSON(j.statePath(st.ID), st)
+}
+
+// saveState durably rewrites a job's lifecycle record.
+func (j *journal) saveState(st *JobStatus) error {
+	return atomicWriteJSON(j.statePath(st.ID), st)
+}
+
+// removeJob erases a job directory (admission rollback).
+func (j *journal) removeJob(id string) error {
+	return os.RemoveAll(j.jobDir(id))
+}
+
+// journalEntry is one recovered job.
+type journalEntry struct {
+	Spec   JobSpec
+	Status JobStatus
+}
+
+// load scans the journal and returns every decodable job, sorted by
+// ID. Damaged entries (missing or unparseable records — the crash may
+// have interrupted the very first append) are renamed aside to
+// <id>.damaged rather than silently deleted, and reported in skipped.
+func (j *journal) load() (entries []journalEntry, skipped []string, err error) {
+	dirs, err := os.ReadDir(filepath.Join(j.root, "jobs"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: journal scan: %w", err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() || strings.HasSuffix(d.Name(), ".damaged") {
+			continue
+		}
+		id := d.Name()
+		var e journalEntry
+		if lerr := readJSON(j.specPath(id), &e.Spec); lerr != nil {
+			skipped = append(skipped, quarantine(j.jobDir(id), id, lerr))
+			continue
+		}
+		if lerr := readJSON(j.statePath(id), &e.Status); lerr != nil {
+			skipped = append(skipped, quarantine(j.jobDir(id), id, lerr))
+			continue
+		}
+		if e.Status.ID != id || !e.Status.State.valid() {
+			skipped = append(skipped, quarantine(j.jobDir(id), id,
+				fmt.Errorf("inconsistent record (id %q, state %q)", e.Status.ID, e.Status.State)))
+			continue
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Status.ID < entries[b].Status.ID })
+	return entries, skipped, nil
+}
+
+// nextID returns the smallest job number strictly greater than every
+// journaled one (including quarantined entries, so IDs are never
+// reused across restarts).
+func (j *journal) nextID() (int, error) {
+	dirs, err := os.ReadDir(filepath.Join(j.root, "jobs"))
+	if err != nil {
+		return 0, err
+	}
+	next := 1
+	for _, d := range dirs {
+		name := strings.TrimSuffix(d.Name(), ".damaged")
+		n, ok := parseJobID(name)
+		if ok && n >= next {
+			next = n + 1
+		}
+	}
+	return next, nil
+}
+
+// formatJobID renders job number n as the fixed-width directory name.
+func formatJobID(n int) string { return fmt.Sprintf("j%08d", n) }
+
+func parseJobID(s string) (int, bool) {
+	if len(s) != 9 || s[0] != 'j' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+func quarantine(dir, id string, cause error) string {
+	_ = os.Rename(dir, dir+".damaged")
+	return fmt.Sprintf("%s: %v", id, cause)
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// atomicWriteJSON installs v at path via temp file + fsync + rename +
+// parent-directory sync — the same durability dance
+// core.SaveCheckpoint does for checkpoints, applied to the journal's
+// JSON records.
+func atomicWriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: journal encode %s: %w", filepath.Base(path), err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(e error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: journal write %s: %w", filepath.Base(path), e)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: journal install %s: %w", filepath.Base(path), err)
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return err
+	}
+	return nil
+}

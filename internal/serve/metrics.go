@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// maxClientLabels caps the number of distinct client label values the
+// registry will grow; clients beyond the cap are folded into "other"
+// so a client-id-per-request caller cannot balloon the metric space.
+const maxClientLabels = 64
+
+// serveMetrics instruments the server. All per-client series go
+// through clientLabel for cardinality control.
+type serveMetrics struct {
+	reg *obs.Registry
+
+	mu      sync.Mutex
+	clients map[string]string
+
+	queueDepthHint *obs.Gauge
+	retriesPending *obs.Gauge
+	jobsParked     *obs.Counter
+	jobsDone       *obs.Counter
+	jobsFailed     *obs.Counter
+	retries        *obs.Counter
+	recovered      *obs.Counter
+	jobSeconds     *obs.Histogram
+}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &serveMetrics{
+		reg:     reg,
+		clients: make(map[string]string),
+		retriesPending: reg.Gauge("serve_retries_pending",
+			"Jobs waiting out a backoff delay before re-admission."),
+		jobsParked: reg.Counter("serve_jobs_parked_total",
+			"Jobs checkpointed and parked by a graceful drain."),
+		jobsDone: reg.Counter("serve_jobs_done_total",
+			"Jobs that reached the done terminal state."),
+		jobsFailed: reg.Counter("serve_jobs_failed_total",
+			"Jobs that reached the failed terminal state."),
+		retries: reg.Counter("serve_job_retries_total",
+			"Backoff retries scheduled after retryable failures."),
+		recovered: reg.Counter("serve_jobs_recovered_total",
+			"Non-terminal jobs re-admitted from the journal at startup."),
+		jobSeconds: reg.Histogram("serve_job_seconds",
+			"Wall-clock duration of successful job runs.",
+			obs.ExponentialBuckets(0.001, 4, 10)),
+	}
+}
+
+// clientLabel maps a raw client ID to a bounded, sanitised label
+// value.
+func (m *serveMetrics) clientLabel(client string) string {
+	if client == "" {
+		client = "anon"
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l, ok := m.clients[client]; ok {
+		return l
+	}
+	l := sanitizeLabel(client)
+	if len(m.clients) >= maxClientLabels {
+		l = "other"
+	}
+	m.clients[client] = l
+	return l
+}
+
+func sanitizeLabel(s string) string {
+	const maxLen = 40
+	b := make([]byte, 0, len(s))
+	for i := 0; i < len(s) && len(b) < maxLen; i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	if len(b) == 0 {
+		return "anon"
+	}
+	return string(b)
+}
+
+func (m *serveMetrics) admitted(client string) {
+	m.reg.Counter(obs.Label("serve_jobs_admitted_total", "client", m.clientLabel(client)),
+		"Jobs admitted (journaled and queued), per client.").Inc()
+}
+
+func (m *serveMetrics) rejected(reason string) {
+	m.reg.Counter(obs.Label("serve_jobs_rejected_total", "reason", reason),
+		"Submissions refused by admission control, per reason.").Inc()
+}

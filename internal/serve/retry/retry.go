@@ -1,0 +1,165 @@
+// Package retry implements capped exponential backoff with jitter for
+// transient-failure recovery. It is the retry policy of the ddserve
+// job scheduler (see internal/serve), but knows nothing about jobs:
+// the policy computes delays, and Do drives a retry loop around any
+// context-aware operation.
+//
+// Jitter exists to break retry synchronisation: when many jobs fail at
+// once (a node-budget squeeze, a chaos burst), full-jitter spreading
+// keeps their retries from stampeding back in lockstep. Delays are
+// deterministic given the *rand.Rand supplied, so tests inject a
+// seeded source and assert the exact schedule.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Policy describes a backoff schedule: the delay before retry n
+// (0-based) is Base·Factor^n, capped at Max, then jittered by drawing
+// uniformly from [(1−Jitter)·d, d].
+type Policy struct {
+	// Base is the delay before the first retry. Zero selects 100ms.
+	Base time.Duration
+	// Max caps the un-jittered delay. Zero selects 30s.
+	Max time.Duration
+	// Factor is the per-retry multiplier. Values below 1 select 2.
+	Factor float64
+	// Jitter is the fraction of the delay drawn at random, in [0, 1]:
+	// 0 is fully deterministic, 1 is "full jitter" over (0, d]. Negative
+	// or out-of-range values select 0.5.
+	Jitter float64
+	// Attempts caps the total number of tries Do makes (first try
+	// included). Zero selects 4; negative means a single try.
+	Attempts int
+}
+
+func (p Policy) base() time.Duration {
+	if p.Base <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.Base
+}
+
+func (p Policy) max() time.Duration {
+	if p.Max <= 0 {
+		return 30 * time.Second
+	}
+	return p.Max
+}
+
+func (p Policy) factor() float64 {
+	if p.Factor < 1 {
+		return 2
+	}
+	return p.Factor
+}
+
+func (p Policy) jitter() float64 {
+	if p.Jitter < 0 || p.Jitter > 1 {
+		return 0.5
+	}
+	return p.Jitter
+}
+
+// MaxAttempts resolves the effective attempt cap (always ≥ 1).
+func (p Policy) MaxAttempts() int {
+	switch {
+	case p.Attempts == 0:
+		return 4
+	case p.Attempts < 1:
+		return 1
+	}
+	return p.Attempts
+}
+
+// Delay returns the backoff before retry n (0-based: Delay(0, …) is
+// the wait between the first failure and the second try). The
+// exponential is computed by repeated multiplication with an early cap
+// so large n cannot overflow. A nil rnd disables jitter, making the
+// schedule fully deterministic.
+func (p Policy) Delay(retry int, rnd *rand.Rand) time.Duration {
+	if retry < 0 {
+		retry = 0
+	}
+	d := float64(p.base())
+	limit := float64(p.max())
+	f := p.factor()
+	for i := 0; i < retry && d < limit; i++ {
+		d *= f
+	}
+	if d > limit {
+		d = limit
+	}
+	if j := p.jitter(); j > 0 && rnd != nil {
+		d = d * (1 - j + j*rnd.Float64())
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// Sleeper waits for d or until ctx is done, returning the context's
+// error when cancelled first. Tests inject one to run the loop
+// without real sleeping; nil selects the real timer-backed sleep.
+type Sleeper func(ctx context.Context, d time.Duration) error
+
+// Sleep is the default Sleeper: a timer honouring cancellation.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// ErrAttemptsExhausted is joined onto the final error when Do gives up
+// because the attempt cap was reached; match with errors.Is.
+var ErrAttemptsExhausted = errors.New("retry: attempts exhausted")
+
+// Do runs f up to p.MaxAttempts() times, sleeping p.Delay between
+// tries, until f succeeds, f's error is marked permanent by retryable
+// (nil treats every error as transient), or ctx is cancelled. The
+// returned error is f's last error — joined with ErrAttemptsExhausted
+// when the cap stopped the loop — or the context error when the wait
+// was interrupted. sleep nil selects Sleep; rnd nil disables jitter.
+func Do(ctx context.Context, p Policy, sleep Sleeper, rnd *rand.Rand, retryable func(error) bool, f func(ctx context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if sleep == nil {
+		sleep = Sleep
+	}
+	attempts := p.MaxAttempts()
+	var err error
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return errors.Join(err, cerr)
+			}
+			return cerr
+		}
+		if err = f(ctx); err == nil {
+			return nil
+		}
+		if retryable != nil && !retryable(err) {
+			return err
+		}
+		if attempt+1 >= attempts {
+			return errors.Join(err, ErrAttemptsExhausted)
+		}
+		if serr := sleep(ctx, p.Delay(attempt, rnd)); serr != nil {
+			return errors.Join(err, serr)
+		}
+	}
+}

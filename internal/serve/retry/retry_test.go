@@ -1,0 +1,193 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDelayDeterministicSchedule pins the un-jittered exponential:
+// base·factor^n capped at max, no randomness with a nil source.
+func TestDelayDeterministicSchedule(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second,
+	}
+	for n, w := range want {
+		if got := p.Delay(n, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+// TestDelayJitterBoundsAndDeterminism: jittered delays stay within
+// [(1−j)·d, d] and a seeded source reproduces the exact sequence.
+func TestDelayJitterBoundsAndDeterminism(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Minute, Factor: 2, Jitter: 0.5}
+	seq := func() []time.Duration {
+		rnd := rand.New(rand.NewSource(42))
+		var out []time.Duration
+		for n := 0; n < 8; n++ {
+			out = append(out, p.Delay(n, rnd))
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for n := range a {
+		if a[n] != b[n] {
+			t.Fatalf("retry %d: same seed gave %v then %v", n, a[n], b[n])
+		}
+		full := p.Delay(n, nil)
+		if a[n] > full || a[n] < time.Duration(float64(full)*0.5) {
+			t.Errorf("retry %d: jittered delay %v outside [%v, %v]", n, a[n], full/2, full)
+		}
+	}
+}
+
+// TestDelayLargeRetryNoOverflow: absurd retry counts saturate at Max
+// instead of overflowing the float→Duration conversion.
+func TestDelayLargeRetryNoOverflow(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Minute, Factor: 10, Jitter: 0}
+	if got := p.Delay(1<<20, nil); got != time.Minute {
+		t.Fatalf("Delay(huge) = %v, want %v", got, time.Minute)
+	}
+	if got := p.Delay(-3, nil); got != time.Second {
+		t.Fatalf("Delay(-3) = %v, want base %v", got, time.Second)
+	}
+}
+
+// TestDefaults: the zero policy resolves to the documented defaults.
+func TestDefaults(t *testing.T) {
+	var p Policy
+	if got := p.Delay(0, nil); got != 100*time.Millisecond {
+		t.Errorf("default base = %v, want 100ms", got)
+	}
+	if got := p.MaxAttempts(); got != 4 {
+		t.Errorf("default attempts = %d, want 4", got)
+	}
+	if got := (Policy{Attempts: -1}).MaxAttempts(); got != 1 {
+		t.Errorf("Attempts -1 → %d, want 1", got)
+	}
+}
+
+// fakeSleeper records requested delays without sleeping.
+type fakeSleeper struct {
+	delays []time.Duration
+	err    error
+}
+
+func (s *fakeSleeper) sleep(_ context.Context, d time.Duration) error {
+	s.delays = append(s.delays, d)
+	return s.err
+}
+
+// TestDoRetriesUntilSuccess: Do retries with the exact policy schedule
+// (observed through the injected sleeper) and stops on success.
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0, Attempts: 5}
+	sl := &fakeSleeper{}
+	calls := 0
+	err := Do(context.Background(), p, sl.sleep, nil, nil, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("f ran %d times, want 3", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(sl.delays) != len(want) {
+		t.Fatalf("slept %v, want %v", sl.delays, want)
+	}
+	for i := range want {
+		if sl.delays[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, sl.delays[i], want[i])
+		}
+	}
+}
+
+// TestDoAttemptCap: the loop gives up after MaxAttempts tries and
+// marks the error.
+func TestDoAttemptCap(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Attempts: 3, Jitter: 0}
+	sl := &fakeSleeper{}
+	calls := 0
+	boom := errors.New("boom")
+	err := Do(context.Background(), p, sl.sleep, nil, nil, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if calls != 3 {
+		t.Fatalf("f ran %d times, want 3", calls)
+	}
+	if !errors.Is(err, ErrAttemptsExhausted) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want ErrAttemptsExhausted joined with cause", err)
+	}
+	if len(sl.delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(sl.delays))
+	}
+}
+
+// TestDoPermanentError: a non-retryable error stops the loop at once.
+func TestDoPermanentError(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 10}, (&fakeSleeper{}).sleep, nil,
+		func(err error) bool { return !errors.Is(err, perm) },
+		func(context.Context) error { calls++; return perm })
+	if calls != 1 {
+		t.Fatalf("f ran %d times, want 1", calls)
+	}
+	if !errors.Is(err, perm) || errors.Is(err, ErrAttemptsExhausted) {
+		t.Fatalf("err = %v, want bare permanent error", err)
+	}
+}
+
+// TestDoContextCancelled: cancellation interrupts the wait and is
+// joined onto the last error; a pre-cancelled context never runs f.
+func TestDoContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sl := &fakeSleeper{err: context.Canceled}
+	boom := errors.New("boom")
+	err := Do(ctx, Policy{Attempts: 5}, sl.sleep, nil, nil, func(context.Context) error { return boom })
+	if !errors.Is(err, boom) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want boom joined with context.Canceled", err)
+	}
+
+	cancel()
+	calls := 0
+	err = Do(ctx, Policy{}, sl.sleep, nil, nil, func(context.Context) error { calls++; return nil })
+	if calls != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ctx: calls=%d err=%v", calls, err)
+	}
+}
+
+// TestSleepHonoursContext: the real sleeper returns promptly on
+// cancellation.
+func TestSleepHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep under cancelled ctx: %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not return promptly on cancellation")
+	}
+	if err := Sleep(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("short real sleep: %v", err)
+	}
+}
