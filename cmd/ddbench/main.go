@@ -53,7 +53,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "all | fig5 | fig8 | fig9 | table1 | table2 | adaptive | enginestats | identity")
+		experiment = flag.String("experiment", "all", "all | fig5 | fig8 | fig9 | table1 | table2 | adaptive | enginestats | identity | planner")
 		full       = flag.Bool("full", false, "larger instances (several minutes; table2 adds the paper's moduli)")
 		reps       = flag.Int("reps", 1, "timing repetitions (fastest run reported)")
 		budget     = flag.Duration("budget", 30*time.Second, "per-run timeout (paper: 2 CPU hours)")
@@ -227,6 +227,16 @@ func main() {
 				return "", "", "", err
 			}
 			return bench.RenderIdentity(rows), bench.IdentityCSV(rows), "", nil
+		})
+		ran = true
+	}
+	if *experiment == "planner" { // strategy-planner comparison; not part of "all"
+		run("planner", func(cfg bench.Config) (string, string, string, error) {
+			r, err := bench.PlannerSweep(cfg)
+			if err != nil {
+				return "", "", "", err
+			}
+			return bench.RenderPlanner(r), bench.PlannerCSV(r), "", nil
 		})
 		ran = true
 	}

@@ -18,9 +18,10 @@
 // (measure/reset/if) fan their shot loop out the same way.
 //
 // Strategies: sequential (default), k-operations (-k), max-size
-// (-smax), adaptive (-ratio), combine-all. -blocks additionally enables
-// the DD-repeating treatment of "repeat" blocks in the input. -dot
-// dumps the final state DD in Graphviz format.
+// (-smax), adaptive (-ratio), planner (-window, -ratio, -growth — the
+// cost-model-driven adaptive planner), combine-all. -blocks
+// additionally enables the DD-repeating treatment of "repeat" blocks in
+// the input. -dot dumps the final state DD in Graphviz format.
 //
 // Resilience: -timeout bounds the wall-clock time, -max-nodes bounds
 // live DD nodes (combination strategies degrade to sequential replay
@@ -68,9 +69,11 @@ import (
 func main() {
 	var (
 		file      = flag.String("file", "", "circuit file ('-' for stdin)")
-		strategy  = flag.String("strategy", "sequential", "sequential | k-operations | max-size | combine-all")
+		strategy  = flag.String("strategy", "sequential", core.StrategyUsage())
 		k         = flag.Int("k", 4, "k for strategy k-operations")
 		smax      = flag.Int("smax", 128, "s_max for strategy max-size")
+		window    = flag.Int("window", 0, "maximum combination window for strategy planner (0 = default 1024)")
+		growth    = flag.Float64("growth", 0, "proactive-flush lookahead in gates for strategy planner (0 = default 2)")
 		blocks    = flag.Bool("blocks", false, "exploit repeated blocks (DD-repeating)")
 		shots     = flag.Int("shots", 0, "measurement samples to draw from the final state")
 		parallel  = flag.Int("parallel", 1, "fan -shots sampling runs across a worker pool of this many workers (each on its own engine; -max-nodes is split across in-flight workers)")
@@ -125,7 +128,7 @@ func main() {
 	}
 	text := string(src)
 
-	st, err := pickStrategy(*strategy, *k, *smax, *ratio)
+	st, err := pickStrategy(*strategy, *k, *smax, *ratio, *window, *growth)
 	if err != nil {
 		fatal(err)
 	}
@@ -465,26 +468,17 @@ func name(c *circuit.Circuit) string {
 	return "(unnamed)"
 }
 
-func pickStrategy(s string, k, smax int, ratio float64) (core.Strategy, error) {
-	switch s {
-	case "sequential":
-		return core.Sequential{}, nil
-	case "k-operations":
-		if k < 1 {
-			return nil, fmt.Errorf("ddsim: -k must be positive, got %d", k)
-		}
-		return core.KOperations{K: k}, nil
-	case "max-size":
-		if smax < 1 {
-			return nil, fmt.Errorf("ddsim: -smax must be positive, got %d", smax)
-		}
-		return core.MaxSize{SMax: smax}, nil
-	case "adaptive":
-		return core.Adaptive{Ratio: ratio}, nil
-	case "combine-all":
-		return core.CombineAll{}, nil
+// pickStrategy delegates to the shared strategy table in core, so the
+// flag's accepted set, its usage string, and the ddserve job decoder
+// all come from one place and cannot drift.
+func pickStrategy(s string, k, smax int, ratio float64, window int, growth float64) (core.Strategy, error) {
+	st, err := core.NewStrategy(s, core.StrategyKnobs{
+		K: k, SMax: smax, Ratio: ratio, Window: window, Growth: growth,
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("ddsim: unknown strategy %q", s)
+	return st, nil
 }
 
 func printTopAmplitudes(res *core.Result, n, top int) {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/core"
@@ -234,6 +235,12 @@ func timeOnce(w Workload, opt core.Options, cfg Config) Measurement {
 		// budget; silent degradation would blur the comparison.
 		opt.DisableFallback = true
 	}
+	// Collect and return freed pages before the clock starts, in the
+	// spirit of testing.B's pre-run GC: a sweep cell must not pay GC
+	// debt or allocator state for garbage the previous cell left behind
+	// (combine-all cells retire with multi-GB heaps), and the order of
+	// cells must not bias the comparison.
+	debug.FreeOSMemory()
 	start := time.Now()
 	err := w.Run(opt)
 	elapsed := time.Since(start).Seconds()

@@ -594,6 +594,15 @@ func StrategyFromName(name string) (Strategy, error) {
 			return nil, fmt.Errorf("core: malformed strategy name %q", name)
 		}
 		return Adaptive{Ratio: r}, nil
+	case strings.HasPrefix(name, "planner("):
+		var w int
+		var r, g float64
+		if _, err := fmt.Sscanf(name, "planner(w=%d,r=%g,g=%g)", &w, &r, &g); err != nil || w < 1 || r <= 0 || g <= 0 {
+			return nil, fmt.Errorf("core: malformed strategy name %q", name)
+		}
+		// A fresh Planner: resuming resets the adaptive state — the
+		// knobs round-trip, the learned window deliberately does not.
+		return &Planner{MaxWindow: w, FlushRatio: r, Growth: g}, nil
 	}
 	return nil, fmt.Errorf("core: unknown strategy name %q", name)
 }

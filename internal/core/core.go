@@ -368,6 +368,9 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 	if opt.Strategy == nil {
 		opt.Strategy = Sequential{}
 	}
+	if err := validateStrategy(opt.Strategy); err != nil {
+		return nil, err
+	}
 	if opt.GCThreshold == 0 {
 		opt.GCThreshold = defaultGCThreshold
 	}
@@ -377,6 +380,14 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 	eng := opt.Engine
 	if eng == nil {
 		eng = dd.New()
+	}
+	// Strategies with per-run adaptive state (the planner) are cloned so
+	// concurrent runs sharing one Options value cannot race, then bound
+	// to this run's engine and circuit.
+	if rb, ok := opt.Strategy.(runBound); ok {
+		rb = rb.cloneForRun()
+		rb.bindRun(eng, c, opt.StartGate)
+		opt.Strategy = rb
 	}
 
 	start := time.Now()
@@ -567,6 +578,7 @@ func (r *runner) run() error {
 			return r.stateSz
 		}
 		if r.accValid && r.opt.Strategy.ShouldApply(r.combined, opSize, stateSize) {
+			r.notePlannerDecision()
 			if err := r.flush(r.next); err != nil {
 				if err = r.maybeRepairOnPanic(err); err != nil {
 					return err
@@ -675,6 +687,24 @@ func (r *runner) tryFallback(runErr *RunError, from, to int) error {
 	return nil
 }
 
+// notePlannerDecision collects the flush decision a decision-taking
+// strategy (the planner) just made and forwards it to the obs layer.
+// The decision is drained even without an observer so a stale one can
+// never be attributed to a later flush.
+func (r *runner) notePlannerDecision() {
+	dt, ok := r.opt.Strategy.(decisionTaker)
+	if !ok {
+		return
+	}
+	d, ok := dt.takeDecision()
+	if !ok {
+		return
+	}
+	if r.obs != nil {
+		r.obs.plannerEv(r.next, d)
+	}
+}
+
 func (r *runner) applyOp(op dd.MEdge, gateIndex, combined int, fromBlock bool, blockName string, reuse bool) {
 	var start time.Time
 	if r.obs != nil {
@@ -683,6 +713,9 @@ func (r *runner) applyOp(op dd.MEdge, gateIndex, combined int, fromBlock bool, b
 	r.v = r.eng.MulVec(op, r.v)
 	r.stateSz = -1
 	r.applied = gateIndex
+	if rb, ok := r.opt.Strategy.(runBound); ok {
+		rb.noteApply(gateIndex)
+	}
 	opSz := r.eng.SizeM(op)
 	r.eng.NoteMatrixSize(opSz)
 	if r.obs == nil {

@@ -338,6 +338,105 @@ func TestStrategyNames(t *testing.T) {
 	}
 }
 
+// Nonsensical strategy parameters must be rejected at RunContext entry
+// with a typed *ConfigError — before this check, KOperations{K: 0} and
+// MaxSize{SMax: 0} ran but silently degenerated to sequential behaviour
+// under a misleading Name().
+func TestStrategyValidation(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).CX(0, 1)
+	bad := []Strategy{
+		KOperations{},
+		KOperations{K: -3},
+		MaxSize{},
+		MaxSize{SMax: -1},
+		Adaptive{Ratio: -0.5},
+		&Planner{MaxWindow: -1},
+		&Planner{FlushRatio: -1},
+		&Planner{Growth: -2},
+	}
+	for _, st := range bad {
+		res, err := Run(c, Options{Strategy: st})
+		if err == nil {
+			t.Fatalf("%T %+v: accepted", st, st)
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%T %+v: error %v is not a *ConfigError", st, st, err)
+		}
+		if res != nil {
+			t.Fatalf("%T: configuration error must not produce a partial result", st)
+		}
+	}
+	good := []Strategy{
+		KOperations{K: 1},
+		MaxSize{SMax: 1},
+		Adaptive{},
+		&Planner{},
+		Sequential{},
+		CombineAll{},
+	}
+	for _, st := range good {
+		if _, err := Run(c, Options{Strategy: st}); err != nil {
+			t.Fatalf("%s: %v", st.Name(), err)
+		}
+	}
+}
+
+// NewStrategy is the shared table behind the ddsim flags and the
+// ddserve decoder: zero knobs select defaults, negatives are typed
+// errors, unknown names enumerate the accepted set.
+func TestNewStrategy(t *testing.T) {
+	cases := []struct {
+		name string
+		kn   StrategyKnobs
+		want string
+	}{
+		{"sequential", StrategyKnobs{}, "sequential"},
+		{"k-operations", StrategyKnobs{}, "k-operations(k=4)"},
+		{"k-operations", StrategyKnobs{K: 7}, "k-operations(k=7)"},
+		{"max-size", StrategyKnobs{}, "max-size(s=128)"},
+		{"adaptive", StrategyKnobs{Ratio: 2}, "adaptive(r=2)"},
+		{"planner", StrategyKnobs{}, "planner(w=1024,r=1,g=2)"},
+		{"planner", StrategyKnobs{Window: 16, Ratio: 0.5, Growth: 4}, "planner(w=16,r=0.5,g=4)"},
+		{"combine-all", StrategyKnobs{}, "combine-all"},
+	}
+	for _, tc := range cases {
+		st, err := NewStrategy(tc.name, tc.kn)
+		if err != nil {
+			t.Fatalf("%s %+v: %v", tc.name, tc.kn, err)
+		}
+		if st.Name() != tc.want {
+			t.Fatalf("%s %+v: name %q, want %q", tc.name, tc.kn, st.Name(), tc.want)
+		}
+	}
+	var ce *ConfigError
+	if _, err := NewStrategy("nope", StrategyKnobs{}); !errors.As(err, &ce) {
+		t.Fatalf("unknown name: %v", err)
+	}
+	if _, err := NewStrategy("k-operations", StrategyKnobs{K: -1}); !errors.As(err, &ce) {
+		t.Fatalf("negative k: %v", err)
+	}
+	if _, err := NewStrategy("planner", StrategyKnobs{Window: -4}); !errors.As(err, &ce) {
+		t.Fatalf("negative window: %v", err)
+	}
+	// Every canonical selector must construct with default knobs and
+	// survive the checkpoint name round-trip.
+	for _, name := range StrategyNames() {
+		st, err := NewStrategy(name, StrategyKnobs{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := StrategyFromName(st.Name())
+		if err != nil {
+			t.Fatalf("%s: StrategyFromName(%q): %v", name, st.Name(), err)
+		}
+		if back.Name() != st.Name() {
+			t.Fatalf("%s: round trip %q -> %q", name, st.Name(), back.Name())
+		}
+	}
+}
+
 // Property: for any k and s_max, results are identical to sequential.
 func TestStrategyEquivalenceSweep(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))

@@ -52,7 +52,10 @@ type runMetrics struct {
 	verifications            *obs.Counter
 	verifyFailures           *obs.Counter
 	repairs                  *obs.Counter
+	plannerDecisions         *obs.Counter
+	plannerFlushes           *obs.Counter
 	liveNodes                *obs.Gauge
+	plannerWindow            *obs.Gauge
 	stepSeconds, gcPauseSecs *obs.Histogram
 	stateNodes, opNodes      *obs.Histogram
 }
@@ -79,7 +82,10 @@ func newRunMetrics(r *obs.Registry) *runMetrics {
 		verifications:      r.Counter("dd_verifications_total", "Integrity verification passes."),
 		verifyFailures:     r.Counter("dd_verify_failures_total", "Verification passes that detected corruption."),
 		repairs:            r.Counter("dd_repairs_total", "Corruption recoveries (state rebuilt and replayed)."),
+		plannerDecisions:   r.Counter("dd_planner_decisions_total", "Planner flush evaluations (one per gate absorbed under the planner)."),
+		plannerFlushes:     r.Counter("dd_planner_flushes_total", "Planner flush decisions taken."),
 		liveNodes:          r.Gauge("dd_live_nodes", "Live nodes in the unique tables (vector + matrix)."),
+		plannerWindow:      r.Gauge("dd_planner_window", "Planner target combination window after the last decision."),
 		stepSeconds:        r.Histogram("dd_step_seconds", "Wall time per applied operation.", latBuckets),
 		gcPauseSecs:        r.Histogram("dd_gc_pause_seconds", "Engine GC pause durations.", gcBuckets),
 		stateNodes:         r.Histogram("dd_state_nodes", "State DD size after each applied operation.", nodeBuckets),
@@ -218,6 +224,26 @@ func (o *runObserver) verifyEv(gate int, check string) {
 		}
 	}
 	o.emit(obs.Event{Kind: obs.KindVerify, Gate: gate, Check: check})
+}
+
+// plannerEv records one flush decision of the adaptive strategy
+// planner: which trip fired, the sizes it weighed, and the target
+// window after adaptation.
+func (o *runObserver) plannerEv(gate int, d PlannerDecision) {
+	if o.met != nil {
+		o.met.plannerDecisions.Add(uint64(d.Combined))
+		o.met.plannerFlushes.Inc()
+		o.met.plannerWindow.Set(int64(d.Window))
+	}
+	o.emit(obs.Event{
+		Kind:       obs.KindPlanner,
+		Gate:       gate,
+		Combined:   d.Combined,
+		OpNodes:    d.OpNodes,
+		StateNodes: d.StateNodes,
+		Decision:   d.Reason,
+		Window:     d.Window,
+	})
 }
 
 // repairEv records a corruption recovery; replayed is the number of

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/dd"
+	"repro/internal/obs"
+)
+
+// scriptedStrategy replays a recorded sequence of flush cuts: it fires
+// exactly when the combined count reaches the next recorded cut. Used
+// by the differential test to re-run the planner's decisions through a
+// strategy that consults nothing — same cuts, same multiplications.
+type scriptedStrategy struct {
+	cuts []int
+	i    int
+}
+
+func (s *scriptedStrategy) Name() string { return "scripted" }
+
+func (s *scriptedStrategy) ShouldApply(combined int, _, _ func() int) bool {
+	if s.i < len(s.cuts) && combined >= s.cuts[s.i] {
+		s.i++
+		return true
+	}
+	return false
+}
+
+// TestPlannerDifferential proves the planner changes only *when* the
+// accumulated matrix is applied, never *what* is computed: replaying
+// its recorded flush cuts through a strategy that looks at nothing
+// must reach a pointer-identical state DD on a shared engine, and a
+// byte-identical serialisation on a fresh one.
+func TestPlannerDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		n := 4 + rng.Intn(3)
+		c := randomCircuit(rng, n, 60, false)
+
+		eng := dd.New()
+		planner := &Planner{MaxWindow: 8}
+		res, err := Run(c, Options{Strategy: planner, Engine: eng, RecordTrace: true})
+		if err != nil {
+			t.Fatalf("trial %d: planner run: %v", trial, err)
+		}
+		var cuts []int
+		for _, tp := range res.Trace {
+			cuts = append(cuts, tp.Combined)
+		}
+		if len(cuts) < 2 {
+			t.Fatalf("trial %d: planner made %d steps; too few to be interesting", trial, len(cuts))
+		}
+
+		// Same engine: the unique tables must intern the replayed state
+		// onto the very same node.
+		ref, err := Run(c, Options{Strategy: &scriptedStrategy{cuts: cuts}, Engine: eng, RecordTrace: true})
+		if err != nil {
+			t.Fatalf("trial %d: scripted run: %v", trial, err)
+		}
+		if res.State != ref.State {
+			t.Fatalf("trial %d: planner state not pointer-identical to scripted replay", trial)
+		}
+		if res.MatVecSteps != ref.MatVecSteps || res.MatMatSteps != ref.MatMatSteps {
+			t.Fatalf("trial %d: multiplication counts diverge: planner %d/%d, scripted %d/%d",
+				trial, res.MatVecSteps, res.MatMatSteps, ref.MatVecSteps, ref.MatMatSteps)
+		}
+
+		// Fresh engine: serialised bytes must agree too.
+		fresh, err := Run(c, Options{Strategy: &scriptedStrategy{cuts: cuts}, Engine: dd.New()})
+		if err != nil {
+			t.Fatalf("trial %d: fresh scripted run: %v", trial, err)
+		}
+		var a, b bytes.Buffer
+		if err := dd.WriteV(&a, res.State); err != nil {
+			t.Fatal(err)
+		}
+		if err := dd.WriteV(&b, fresh.State); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("trial %d: planner state serialisation differs from scripted replay", trial)
+		}
+	}
+}
+
+// TestPlannerDeterministic: two identical planner runs on fresh engines
+// must make identical decisions — the planner consults sizes and
+// counters, never the clock.
+func TestPlannerDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randomCircuit(rng, 6, 80, false)
+	var traces [2][]TracePoint
+	for i := range traces {
+		res, err := Run(c, Options{Strategy: &Planner{}, Engine: dd.New(), RecordTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[i] = res.Trace
+	}
+	if len(traces[0]) != len(traces[1]) {
+		t.Fatalf("step counts differ: %d vs %d", len(traces[0]), len(traces[1]))
+	}
+	for i := range traces[0] {
+		if traces[0][i] != traces[1][i] {
+			t.Fatalf("step %d differs: %+v vs %+v", i, traces[0][i], traces[1][i])
+		}
+	}
+}
+
+// TestPlannerMatchesDense anchors planner correctness to the dense
+// reference simulator across random circuits, including under blocks.
+func TestPlannerMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 4; trial++ {
+		n := 2 + rng.Intn(4)
+		c := randomCircuit(rng, n, 40, trial%2 == 0)
+		for _, useBlocks := range []bool{false, true} {
+			res, err := Run(c, Options{Strategy: &Planner{}, UseBlocks: useBlocks})
+			if err != nil {
+				t.Fatalf("trial %d blocks=%v: %v", trial, useBlocks, err)
+			}
+			if f := fidelityWithDense(t, res, c); f < 1-1e-9 {
+				t.Fatalf("trial %d blocks=%v: fidelity %v", trial, useBlocks, f)
+			}
+		}
+	}
+}
+
+// TestPlannerEventsAndMetrics: every planner flush decision surfaces as
+// a KindPlanner event with a named trip and as dd_planner_* metrics.
+func TestPlannerEventsAndMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randomCircuit(rng, 6, 120, false)
+	ring := obs.NewRing(4096)
+	reg := obs.NewRegistry()
+	res, err := Run(c, Options{Strategy: &Planner{MaxWindow: 4}, EventSink: ring, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GatesApplied != c.GateCount() {
+		t.Fatalf("applied %d of %d gates", res.GatesApplied, c.GateCount())
+	}
+	valid := map[string]bool{"window": true, "ratio": true, "growth": true, "cost": true}
+	events := 0
+	for _, e := range ring.Events() {
+		if e.Kind != obs.KindPlanner {
+			continue
+		}
+		events++
+		if !valid[e.Decision] {
+			t.Fatalf("planner event with unknown decision %q", e.Decision)
+		}
+		if e.Combined < 1 || e.Window < 1 {
+			t.Fatalf("planner event with nonsense combined=%d window=%d", e.Combined, e.Window)
+		}
+	}
+	if events == 0 {
+		t.Fatal("no KindPlanner events emitted")
+	}
+	var flushes, decisions uint64
+	seenWindow := false
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "dd_planner_flushes_total":
+			flushes = uint64(m.Value)
+		case "dd_planner_decisions_total":
+			decisions = uint64(m.Value)
+		case "dd_planner_window":
+			seenWindow = true
+		}
+	}
+	if flushes != uint64(events) {
+		t.Fatalf("dd_planner_flushes_total = %d, want %d (one per event)", flushes, events)
+	}
+	if decisions < flushes {
+		t.Fatalf("dd_planner_decisions_total = %d < flushes %d", decisions, flushes)
+	}
+	if !seenWindow {
+		t.Fatal("dd_planner_window gauge not registered")
+	}
+}
+
+// TestPlannerSharedOptionsNoRace: one Options value reused across
+// concurrent runs must be safe — RunContext clones the planner per run.
+// (Run under -race in CI's batch-race job.)
+func TestPlannerSharedOptionsNoRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := randomCircuit(rng, 5, 60, false)
+	planner := &Planner{MaxWindow: 8}
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := Run(c, Options{Strategy: planner, Engine: dd.New()})
+			done <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if planner.eng != nil || planner.window != 0 {
+		t.Fatal("shared planner instance was mutated; runs must operate on clones")
+	}
+}
+
+// TestPlannerNameRoundTrip: the planner's canonical name reconstructs
+// an equivalent planner with fresh adaptive state.
+func TestPlannerNameRoundTrip(t *testing.T) {
+	for _, p := range []*Planner{{}, {MaxWindow: 16}, {MaxWindow: 32, FlushRatio: 0.5, Growth: 3}} {
+		st, err := StrategyFromName(p.Name())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		back, ok := st.(*Planner)
+		if !ok {
+			t.Fatalf("%s: parsed to %T", p.Name(), st)
+		}
+		if back.Name() != p.Name() {
+			t.Fatalf("round trip %q -> %q", p.Name(), back.Name())
+		}
+		if back.eng != nil || back.sampled || back.pending {
+			t.Fatalf("%s: reconstructed planner carries adaptive state", p.Name())
+		}
+	}
+	if _, err := StrategyFromName("planner(w=0,r=1,g=2)"); err == nil {
+		t.Fatal("malformed planner name accepted")
+	}
+}
+
+// TestPlannerInitialWindowLocality: the static cost model reads gate
+// locality to pick the starting regime. Chained gates (every pair
+// sharing a qubit, Shor-like) start at the narrow window; layers of
+// disjoint gates (random-circuit-like, locality ~0) enter ride mode
+// with the window pinned at the cap.
+func TestPlannerInitialWindowLocality(t *testing.T) {
+	local := circuit.New(8)
+	for i := 0; i < 64; i++ {
+		local.H(0)
+	}
+	scattered := circuit.New(8)
+	for i := 0; i < 64; i++ {
+		scattered.H(i % 8)
+	}
+	pLocal := &Planner{}
+	pLocal.bindRun(dd.New(), local, 0)
+	if pLocal.ride || pLocal.window != plannerNarrowInit {
+		t.Fatalf("chained gates: ride=%v window=%d; want windowed start at %d",
+			pLocal.ride, pLocal.window, plannerNarrowInit)
+	}
+	pScattered := &Planner{}
+	pScattered.bindRun(dd.New(), scattered, 0)
+	if !pScattered.ride || pScattered.window != pScattered.maxWindow() {
+		t.Fatalf("disjoint gates: ride=%v window=%d; want ride mode at cap %d",
+			pScattered.ride, pScattered.window, pScattered.maxWindow())
+	}
+}
+
+// BenchmarkPlannerDecision guards the planner's decision path: it runs
+// on every absorbed gate, so it must stay allocation-free (enforced by
+// the CI alloc-regression step).
+func BenchmarkPlannerDecision(b *testing.B) {
+	c := circuit.New(6)
+	for i := 0; i < 16; i++ {
+		c.H(i%6).CX(i%6, (i+1)%6)
+	}
+	eng := dd.New()
+	p := &Planner{}
+	p.bindRun(eng, c, 0)
+	opSize := func() int { return 12 }
+	stateSize := func() int { return 40 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		combined := 1 + i%8
+		if p.ShouldApply(combined, opSize, stateSize) {
+			p.noteApply(combined)
+			p.takeDecision()
+		}
+	}
+}

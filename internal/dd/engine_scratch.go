@@ -1,0 +1,13 @@
+package dd
+
+// StrategyScratch returns the opaque per-engine strategy slot set by
+// SetStrategyScratch, or nil. The engine is the one object whose
+// lifetime matches a logical simulation — multi-segment drivers (Shor's
+// semiclassical QFT) call the runner once per segment against the same
+// engine — so adaptive strategies use this slot to carry learned state
+// across segments without coupling the engine to any strategy type.
+// Like the rest of the engine it is not safe for concurrent use.
+func (e *Engine) StrategyScratch() any { return e.strategyScratch }
+
+// SetStrategyScratch stores v in the per-engine strategy slot.
+func (e *Engine) SetStrategyScratch(v any) { e.strategyScratch = v }

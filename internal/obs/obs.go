@@ -53,6 +53,13 @@ const (
 	// the number of gates replayed; Event.Check names the check that
 	// triggered the repair.
 	KindRepair
+	// KindPlanner is one flush decision of the adaptive strategy planner
+	// (core.Planner): Event.Decision names the trip ("window", "ratio",
+	// "growth", "cost"), Event.Combined the gates in the flushed window,
+	// Event.OpNodes/StateNodes the sizes the decision weighed, and
+	// Event.Window the planner's target combination window at the
+	// decision.
+	KindPlanner
 )
 
 var kindNames = [...]string{
@@ -65,6 +72,7 @@ var kindNames = [...]string{
 	KindRunEnd:     "run_end",
 	KindVerify:     "verify",
 	KindRepair:     "repair",
+	KindPlanner:    "planner",
 }
 
 // String returns the kind's wire name.
@@ -168,6 +176,12 @@ type Event struct {
 	// KindRepair event ("audit", "norm", "unitarity", "oracle"); empty
 	// on a clean verification pass.
 	Check string `json:"check,omitempty"`
+
+	// Decision names the planner trip that caused a KindPlanner flush
+	// ("window", "ratio", "growth", "cost"); Window is the planner's
+	// target combination window at the decision.
+	Decision string `json:"decision,omitempty"`
+	Window   int    `json:"window,omitempty"`
 }
 
 // Time returns the emission time as a time.Time.

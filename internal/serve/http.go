@@ -142,7 +142,11 @@ func writeRequestError(w http.ResponseWriter, err error) {
 	var re *RequestError
 	if errors.As(err, &re) {
 		if re.RetryAfter > 0 {
-			secs := int64(re.RetryAfter / time.Second)
+			// Round up, never down: truncating a sub-second or fractional
+			// RetryAfter shortens the advertised backoff (500ms would
+			// render as 0 and invite an immediate retry stampede), so
+			// 1.5s becomes 2 and anything below a second becomes 1.
+			secs := int64((re.RetryAfter + time.Second - 1) / time.Second)
 			if secs < 1 {
 				secs = 1
 			}

@@ -33,15 +33,23 @@ type JobSpec struct {
 	// (measure / reset / if) are rejected: a served job must be a pure
 	// unitary evolution so checkpoint-resume replays deterministically.
 	QASM string `json:"qasm,omitempty"`
-	// Strategy selects the multiplication strategy: "sequential"
-	// (default), "k-operations", "max-size", "adaptive", "combine-all".
+	// Strategy selects the multiplication strategy by its canonical
+	// name — any entry of core.StrategyNames(): "sequential" (default),
+	// "k-operations", "max-size", "adaptive", "planner", "combine-all".
 	Strategy string `json:"strategy,omitempty"`
 	// K parameterises k-operations (default 4).
 	K int `json:"k,omitempty"`
 	// SMax parameterises max-size (default 128).
 	SMax int `json:"smax,omitempty"`
-	// Ratio parameterises adaptive (default 1.0).
+	// Ratio parameterises adaptive and the planner's flush bound
+	// (default 1.0).
 	Ratio float64 `json:"ratio,omitempty"`
+	// Window parameterises the planner's maximum combination window
+	// (default 64).
+	Window int `json:"window,omitempty"`
+	// Growth parameterises the planner's proactive-flush lookahead in
+	// gates (default 2).
+	Growth float64 `json:"growth,omitempty"`
 	// UseBlocks enables block-structured matrix reuse.
 	UseBlocks bool `json:"use_blocks,omitempty"`
 	// Shots, when positive, samples that many measurement outcomes from
@@ -212,38 +220,28 @@ func hasDynamicOps(text string) bool {
 	return false
 }
 
-// StrategyFor builds the core.Strategy a spec requests, by
-// synthesising the canonical strategy name core.StrategyFromName
-// parses — the same spelling checkpoints record, so resumed attempts
-// agree with the journal.
+// StrategyFor builds the core.Strategy a spec requests through the
+// shared strategy table (core.NewStrategy) — the same constructor
+// behind the ddsim flags, producing the same canonical Name() spelling
+// checkpoints record, so resumed attempts agree with the journal.
+// Zero-valued knobs select each family's default; negative knobs are a
+// *core.ConfigError the admission path rejects with 400.
 func StrategyFor(spec *JobSpec) (core.Strategy, error) {
 	name := spec.Strategy
-	switch name {
-	case "", "sequential":
+	if name == "" {
 		name = "sequential"
-	case "k-operations":
-		k := spec.K
-		if k <= 0 {
-			k = 4
-		}
-		name = fmt.Sprintf("k-operations(k=%d)", k)
-	case "max-size":
-		s := spec.SMax
-		if s <= 0 {
-			s = 128
-		}
-		name = fmt.Sprintf("max-size(s=%d)", s)
-	case "adaptive":
-		r := spec.Ratio
-		if r <= 0 {
-			r = 1
-		}
-		name = fmt.Sprintf("adaptive(r=%g)", r)
-	case "combine-all":
-	default:
-		return nil, fmt.Errorf("serve: unknown strategy %q", name)
 	}
-	return core.StrategyFromName(name)
+	st, err := core.NewStrategy(name, core.StrategyKnobs{
+		K:      spec.K,
+		SMax:   spec.SMax,
+		Ratio:  spec.Ratio,
+		Window: spec.Window,
+		Growth: spec.Growth,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return st, nil
 }
 
 // JobState is a job's position in the lifecycle state machine:
@@ -303,6 +301,12 @@ type JobStatus struct {
 	Priority string   `json:"priority"`
 	NQubits  int      `json:"nqubits"`
 	Gates    int      `json:"gates"`
+	// Strategy is the canonical strategy name (core.Strategy.Name())
+	// the job runs under, with every knob resolved. It is journaled
+	// with the job, so a parked job resumes under the same spelling —
+	// only the knobs survive the round trip; adaptive planner state
+	// restarts fresh.
+	Strategy string `json:"strategy,omitempty"`
 	// Attempt counts executions started (1 on the first run).
 	Attempt int `json:"attempt"`
 	// Gate is the resume point: gates applied as of the last durable

@@ -257,6 +257,12 @@ func (s *Server) clientLocked(client string) *clientState {
 // queue, then acknowledge. Returns the job's initial status, or a
 // *RequestError when admission control refuses.
 func (s *Server) Submit(spec *JobSpec, circ *circuit.Circuit) (*JobStatus, error) {
+	strategy, serr := StrategyFor(spec)
+	if serr != nil {
+		// DecodeJobRequest already validated the spec; this guards
+		// direct API callers.
+		return nil, reqErr(400, "%v", serr)
+	}
 	now := time.Now()
 	s.mu.Lock()
 	if s.draining || s.killed {
@@ -303,6 +309,7 @@ func (s *Server) Submit(spec *JobSpec, circ *circuit.Circuit) (*JobStatus, error
 			Priority: spec.Priority,
 			NQubits:  circ.NQubits,
 			Gates:    len(circ.Gates),
+			Strategy: strategy.Name(),
 		},
 	}
 	// WAL: the job is durable before the queue sees it and before the

@@ -90,6 +90,12 @@ func MaxSize(sMax int) Strategy { return core.MaxSize{SMax: sMax} }
 // normalises the threshold by the actual matrix-vector cost driver.
 func Adaptive(ratio float64) Strategy { return core.Adaptive{Ratio: ratio} }
 
+// Planner returns the cost-model-driven adaptive strategy with default
+// knobs: it sizes the combination window per circuit segment from a
+// static locality model plus measured engine-counter cost, so no k /
+// s_max / ratio tuning is needed (see core.Planner for the knobs).
+func Planner() Strategy { return &core.Planner{} }
+
 // Simulate runs c from |0…0> under the given strategy (nil means
 // sequential) and returns the final state as a decision diagram.
 func Simulate(c *Circuit, strategy Strategy) (*Result, error) {
