@@ -8,6 +8,7 @@
 //	adaptive — ratio sweep of the adaptive strategy (ablation, not in "all")
 //	enginestats — per-cache hit rates and GC behaviour of the DD engine
 //	identity — identity-aware kernels before/after (ablation, not in "all")
+//	reorder — variable-order ablation: fixed vs static vs sifting (not in "all")
 //
 // Usage:
 //
@@ -53,7 +54,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "all | fig5 | fig8 | fig9 | table1 | table2 | adaptive | enginestats | identity | planner")
+		experiment = flag.String("experiment", "all", "all | fig5 | fig8 | fig9 | table1 | table2 | adaptive | enginestats | identity | planner | reorder")
 		full       = flag.Bool("full", false, "larger instances (several minutes; table2 adds the paper's moduli)")
 		reps       = flag.Int("reps", 1, "timing repetitions (fastest run reported)")
 		budget     = flag.Duration("budget", 30*time.Second, "per-run timeout (paper: 2 CPU hours)")
@@ -227,6 +228,16 @@ func main() {
 				return "", "", "", err
 			}
 			return bench.RenderIdentity(rows), bench.IdentityCSV(rows), "", nil
+		})
+		ran = true
+	}
+	if *experiment == "reorder" { // variable-order ablation; not part of "all"
+		run("reorder", func(cfg bench.Config) (string, string, string, error) {
+			rows, err := bench.ReorderSweep(cfg)
+			if err != nil {
+				return "", "", "", err
+			}
+			return bench.RenderReorder(rows), bench.ReorderCSV(rows), "", nil
 		})
 		ran = true
 	}

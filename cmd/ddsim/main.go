@@ -23,6 +23,12 @@
 // additionally enables the DD-repeating treatment of "repeat" blocks in
 // the input. -dot dumps the final state DD in Graphviz format.
 //
+// -reorder selects variable reordering: "static" derives an initial
+// variable order from the circuit's qubit-interaction graph before the
+// run, "sifting" additionally re-sifts the order whenever the state DD
+// grows past a threshold (amplitudes and samples are always reported in
+// circuit qubit order regardless of the internal level permutation).
+//
 // Resilience: -timeout bounds the wall-clock time, -max-nodes bounds
 // live DD nodes (combination strategies degrade to sequential replay
 // under the cap unless -no-fallback is set), -checkpoint periodically
@@ -83,6 +89,7 @@ func main() {
 		ratio     = flag.Float64("ratio", 1, "op/state size ratio for strategy adaptive")
 		dotOut    = flag.String("dot", "", "write the final state DD in Graphviz DOT format to this file")
 		optimize  = flag.Bool("optimize", false, "run the peephole optimiser before simulating")
+		reorder   = flag.String("reorder", "off", "variable reordering: off, static (interaction-graph order derived before the run), or sifting (dynamic sifting when the state DD grows)")
 		stats     = flag.Bool("stats", false, "print engine statistics (cache hit rates, GC, memory layout)")
 		noIDSkip  = flag.Bool("no-identity-skip", false, "disable the identity short-circuits in the multiplication kernels (results are identical; use with -stats to measure the optimisation)")
 
@@ -143,6 +150,7 @@ func main() {
 		VerifyEvery:         *verifyEvery,
 		Paranoid:            *paranoid,
 		DisableIdentitySkip: *noIDSkip,
+		Reorder:             *reorder,
 	}
 	if *timeout > 0 {
 		baseOpt.Deadline = time.Now().Add(*timeout)
@@ -165,6 +173,13 @@ func main() {
 	// control run as dynamic circuits: one execution per shot, classical
 	// histogram reported.
 	if isQASM(text) && hasDynamicOps(text) {
+		// Dynamic programs measure and reset qubits by level between
+		// core runs; they do not thread a permutation, so reordering
+		// stays off for them.
+		if baseOpt.Reorder != "" && baseOpt.Reorder != "off" {
+			fmt.Fprintln(os.Stderr, "ddsim: -reorder is ignored for dynamic programs")
+			baseOpt.Reorder = "off"
+		}
 		runDynamic(text, baseOpt, *shots, *parallel, *seed)
 		octl.finish()
 		return
@@ -262,6 +277,14 @@ func main() {
 	}
 	fmt.Printf("state DD size:  %d nodes\n", res.Engine.SizeV(res.State))
 	fmt.Printf("norm:           %.9f\n", res.State.Norm())
+	if *reorder != "" && *reorder != "off" {
+		order := "identity"
+		if res.Order != nil {
+			order = fmt.Sprint(res.Order)
+		}
+		fmt.Printf("reorder:        %s (%d swaps, %d sift passes, final order %s)\n",
+			*reorder, res.Stats.ReorderSwaps, res.Stats.SiftPasses, order)
+	}
 
 	if *stats {
 		printEngineStats(res.Engine)
@@ -275,7 +298,9 @@ func main() {
 			rng := rand.New(rand.NewSource(*seed))
 			counts = map[uint64]int{}
 			for i := 0; i < *shots; i++ {
-				counts[res.State.SampleAll(rng)]++
+				// SampleAll draws a DD-indexed basis state; map it back
+				// to circuit qubit order before reporting.
+				counts[dd.IndexFromDD(res.Order, res.State.SampleAll(rng))]++
 			}
 		}
 		fmt.Printf("samples (%d shots):\n", *shots)
@@ -287,7 +312,12 @@ func main() {
 		for idx, n := range counts {
 			sorted = append(sorted, kv{idx, n})
 		}
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i].n > sorted[j].n })
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].n != sorted[j].n {
+				return sorted[i].n > sorted[j].n
+			}
+			return sorted[i].idx < sorted[j].idx // ties in basis-state order, not map order
+		})
 		for _, e := range sorted {
 			fmt.Printf("  |%0*b>  %d\n", c.NQubits, e.idx, e.n)
 		}
@@ -395,6 +425,9 @@ func runFsck(path string) {
 		fmt.Printf("seed:           %d (%d fallbacks, %d repairs)\n",
 			rep.Seed, rep.Fallbacks, rep.Repairs)
 		fmt.Printf("state:          %d DD nodes, norm %.9f\n", rep.StateNodes, rep.Norm)
+		if rep.Order != nil {
+			fmt.Printf("order:          %v\n", rep.Order)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddsim: fsck:", err)
@@ -482,7 +515,7 @@ func pickStrategy(s string, k, smax int, ratio float64, window int, growth float
 }
 
 func printTopAmplitudes(res *core.Result, n, top int) {
-	amps := res.State.ToVector()
+	amps := dd.VectorInOrder(res.State, res.Order)
 	type entry struct {
 		idx uint64
 		p   float64

@@ -8,6 +8,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/dd"
 	"repro/internal/dynamic"
 	"repro/internal/obs"
 )
@@ -55,7 +56,9 @@ func runParallelShots(c *circuit.Circuit, opt core.Options, shots, parallel int,
 	for j, r := range results {
 		rng := rand.New(rand.NewSource(seed + int64(j)))
 		for s := 0; s < shares[j]; s++ {
-			counts[r.Result.State.SampleAll(rng)]++
+			// Samples are DD-indexed; map through the job's variable
+			// order back to circuit qubit order.
+			counts[dd.IndexFromDD(r.Result.Order, r.Result.State.SampleAll(rng))]++
 		}
 	}
 	return results[0].Result, counts, nil

@@ -29,6 +29,10 @@ import (
 //	'H'  header: circuit name, qubit count, next gate index, RNG seed,
 //	     fallback count, strategy name, repair count (varint-encoded)
 //	'S'  state: the state DD in the serialize.go DDV1 format
+//	'O'  order: the variable order the state DD was taken under — a
+//	     uvarint count followed by count uvarint entries, order[level] =
+//	     circuit qubit (absent when the run used identity order; files
+//	     without it load with Order nil)
 //
 // Unknown section tags are CRC-checked and skipped, so the format can
 // grow without breaking old readers. A flipped bit anywhere in a
@@ -54,7 +58,13 @@ type Checkpoint struct {
 	// Version is the on-disk format version the checkpoint was read
 	// from (2 for fresh checkpoints; set by ReadCheckpoint).
 	Version int
-	State   dd.VEdge
+	// Order is the variable order State was taken under: order[level] =
+	// circuit qubit, nil for identity (see internal/dd reordering).
+	// Checkpoints written before dynamic reordering existed load with
+	// Order nil, which resumes them under identity order — correct,
+	// since those runs never permuted their levels.
+	Order []int
+	State dd.VEdge
 }
 
 var (
@@ -65,6 +75,7 @@ var (
 const (
 	ckptSectionHeader = 'H'
 	ckptSectionState  = 'S'
+	ckptSectionOrder  = 'O'
 	// ckptMaxSection bounds a section's declared payload length; the
 	// length field is untrusted input.
 	ckptMaxSection = 1 << 30
@@ -127,6 +138,23 @@ func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
 	}
 	if err := writeCkptSection(bw, ckptSectionHeader, hdr.Bytes()); err != nil {
 		return err
+	}
+	// The optional order section is written BEFORE the required state
+	// section: a file truncated at any section boundary then also loses
+	// the state and fails the missing-section check, instead of quietly
+	// decoding with the order dropped (which would resume a permuted
+	// state under identity order).
+	if ck.Order != nil {
+		var ord bytes.Buffer
+		n := binary.PutUvarint(buf[:], uint64(len(ck.Order)))
+		ord.Write(buf[:n])
+		for _, q := range ck.Order {
+			n := binary.PutUvarint(buf[:], uint64(q))
+			ord.Write(buf[:n])
+		}
+		if err := writeCkptSection(bw, ckptSectionOrder, ord.Bytes()); err != nil {
+			return err
+		}
 	}
 	if err := writeCkptSection(bw, ckptSectionState, state.Bytes()); err != nil {
 		return err
@@ -292,6 +320,12 @@ func readCheckpointV2(cr *ckptReader, e *dd.Engine) (*Checkpoint, error) {
 			}
 			ck.State = st
 			haveState = true
+		case ckptSectionOrder:
+			ord, err := decodeCkptOrder(payload)
+			if err != nil {
+				return nil, corruptAt(secName, secStart, err)
+			}
+			ck.Order = ord
 		default:
 			// CRC verified; payload intentionally ignored (future section).
 		}
@@ -303,7 +337,44 @@ func readCheckpointV2(cr *ckptReader, e *dd.Engine) (*Checkpoint, error) {
 		}
 		return nil, corruptAt(missing, cr.off, fmt.Errorf("missing %s section", missing))
 	}
+	if ck.Order != nil && len(ck.Order) != ck.NQubits {
+		return nil, corruptAt("order", cr.off,
+			fmt.Errorf("order spans %d levels, header declares %d qubits", len(ck.Order), ck.NQubits))
+	}
 	return ck, nil
+}
+
+// decodeCkptOrder parses the 'O' payload into a validated permutation.
+// The CRC has passed, but the content is still untrusted: a section
+// borrowed from another file could carry a non-permutation, which would
+// silently scramble every amplitude of a resumed run.
+func decodeCkptOrder(payload []byte) ([]int, error) {
+	br := bytes.NewReader(payload)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("order count: %w", err)
+	}
+	if count > uint64(br.Len()) { // each entry is ≥ 1 byte
+		return nil, fmt.Errorf("order count %d exceeds remaining payload %d", count, br.Len())
+	}
+	ord := make([]int, count)
+	for i := range ord {
+		q, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("order entry %d: %w", i, err)
+		}
+		if q >= count {
+			return nil, fmt.Errorf("order entry %d is %d, want < %d", i, q, count)
+		}
+		ord[i] = int(q)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after order entries", br.Len())
+	}
+	if !dd.IsPermutation(ord) {
+		return nil, fmt.Errorf("order %v is not a permutation", ord)
+	}
+	return ord, nil
 }
 
 func sectionName(tag byte) string {
@@ -312,6 +383,8 @@ func sectionName(tag byte) string {
 		return "header"
 	case ckptSectionState:
 		return "state"
+	case ckptSectionOrder:
+		return "order"
 	default:
 		return fmt.Sprintf("section %q", tag)
 	}
@@ -524,6 +597,8 @@ type FsckReport struct {
 	Fallbacks   int
 	Strategy    string
 	Repairs     int
+	// Order is the recorded variable order (nil for identity).
+	Order []int
 	// StateNodes is the decoded state DD's node count; Norm its 2-norm.
 	StateNodes int
 	Norm       float64
@@ -549,6 +624,7 @@ func VerifyCheckpoint(path string) (*FsckReport, error) {
 		Fallbacks:   ck.Fallbacks,
 		Strategy:    ck.Strategy,
 		Repairs:     ck.Repairs,
+		Order:       ck.Order,
 		StateNodes:  eng.SizeV(ck.State),
 	}
 	if got := ck.State.Qubits(); got != ck.NQubits {
@@ -640,5 +716,9 @@ func ResumeOptions(opt Options, c *circuit.Circuit, ck *Checkpoint) (Options, er
 	opt.InitialState = &st
 	opt.StartGate = ck.NextGate
 	opt.Seed = ck.Seed
+	// The recorded order (nil for identity) wins over any caller-set
+	// InitialOrder: the state DD is only meaningful under the order it
+	// was checkpointed with.
+	opt.InitialOrder = ck.Order
 	return opt, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"os"
@@ -26,6 +27,7 @@ func ckptBytes(t testing.TB) (*Checkpoint, []byte) {
 		Fallbacks:   1,
 		Strategy:    "k-operations(k=4)",
 		Repairs:     2,
+		Order:       []int{2, 0, 3, 1},
 		State:       e.FromVector(randAmps(rng, 4)),
 	}
 	var buf bytes.Buffer
@@ -53,7 +55,22 @@ func TestCheckpointV2Roundtrip(t *testing.T) {
 		got.NextGate != ck.NextGate || got.Seed != ck.Seed || got.Fallbacks != ck.Fallbacks {
 		t.Fatalf("header mismatch: %+v", got)
 	}
+	if !ordersEqual(got.Order, ck.Order) {
+		t.Fatalf("order mismatch: %v, want %v", got.Order, ck.Order)
+	}
 	vectorsMatch(t, got.State.ToVector(), ck.State.ToVector())
+}
+
+func ordersEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestCheckpointV1Compat proves legacy files remain readable: a file in
@@ -87,15 +104,19 @@ func TestCheckpointBitFlipDetected(t *testing.T) {
 		mut[i] ^= 0x10
 		got, err := ReadCheckpoint(bytes.NewReader(mut), dd.New())
 		if err == nil {
-			// The only acceptable silent outcome is a flip the format
-			// genuinely cannot see; with full-payload CRCs there is none,
-			// except a tag byte flipped to another *valid* layout — and
-			// even those lose a required section. Anything decoding
-			// successfully must at least match the original exactly.
+			// The only acceptable silent outcome is the 'O' tag byte
+			// flipping to an unknown tag: the optional order section is
+			// then CRC-verified and skipped (the tagged-section format
+			// cannot distinguish that from a genuine future section).
+			// Everything else must fail, and even the tag-flip case must
+			// decode every remaining field exactly.
 			if got.CircuitName != ck.CircuitName || got.NextGate != ck.NextGate {
 				t.Fatalf("byte %d: corrupt checkpoint decoded to %+v", i, got)
 			}
-			t.Fatalf("byte %d: flip not detected", i)
+			if mut[i] != byte(ckptSectionOrder)^0x10 || got.Order != nil {
+				t.Fatalf("byte %d: flip not detected (order %v)", i, got.Order)
+			}
+			continue
 		}
 		if !errors.Is(err, ErrCheckpointCorrupt) {
 			t.Fatalf("byte %d: error %v does not wrap ErrCheckpointCorrupt", i, err)
@@ -123,7 +144,7 @@ func TestCheckpointTruncationNoPanic(t *testing.T) {
 func TestCheckpointErrorContext(t *testing.T) {
 	_, data := ckptBytes(t)
 	// The state section is the last one; flipping the final byte damages
-	// its payload without touching the header.
+	// its payload without touching the header or order.
 	mut := bytes.Clone(data)
 	mut[len(mut)-1] ^= 0x01
 	_, err := ReadCheckpoint(bytes.NewReader(mut), dd.New())
@@ -166,6 +187,71 @@ func TestCheckpointUnknownSectionSkipped(t *testing.T) {
 	raw[8+1+1+4+2] ^= 0x40 // a byte inside the 'Z' payload
 	if _, err := ReadCheckpoint(bytes.NewReader(raw), dd.New()); !errors.Is(err, ErrCheckpointCorrupt) {
 		t.Fatalf("corrupt unknown section not detected: %v", err)
+	}
+}
+
+// TestCheckpointOrderSectionCorruption hand-crafts malformed 'O'
+// sections: every corruption must surface as a typed *CheckpointError
+// naming the order section and wrapping ErrCheckpointCorrupt — a CRC
+// can be forged (or borrowed from another file), so the decoded content
+// itself is validated before it can scramble a resumed run.
+func TestCheckpointOrderSectionCorruption(t *testing.T) {
+	ck, _ := ckptBytes(t)
+	ck.Order = nil
+	var base bytes.Buffer
+	if err := WriteCheckpoint(&base, ck); err != nil {
+		t.Fatal(err)
+	}
+	withOrder := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		buf.Write(base.Bytes())
+		bw := bufio.NewWriter(&buf)
+		if err := writeCkptSection(bw, ckptSectionOrder, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	uvarints := func(vs ...uint64) []byte {
+		var p []byte
+		var tmp [10]byte
+		for _, v := range vs {
+			n := binary.PutUvarint(tmp[:], v)
+			p = append(p, tmp[:n]...)
+		}
+		return p
+	}
+
+	// Sanity: a well-formed section decodes.
+	got, err := ReadCheckpoint(bytes.NewReader(withOrder(uvarints(4, 3, 2, 1, 0))), dd.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ordersEqual(got.Order, []int{3, 2, 1, 0}) {
+		t.Fatalf("order decoded as %v", got.Order)
+	}
+
+	bad := map[string][]byte{
+		"duplicate entry":      uvarints(4, 0, 0, 1, 2),
+		"entry out of range":   uvarints(4, 0, 1, 2, 4),
+		"length != qubits":     uvarints(3, 2, 1, 0),
+		"truncated entries":    uvarints(4, 0, 1),
+		"implausible count":    uvarints(1 << 40),
+		"trailing bytes":       append(uvarints(4, 3, 2, 1, 0), 0x7f),
+		"empty payload":        {},
+		"truncated mid-varint": {4, 0x80},
+	}
+	for name, payload := range bad {
+		_, err := ReadCheckpoint(bytes.NewReader(withOrder(payload)), dd.New())
+		if !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("%s: error %v does not wrap ErrCheckpointCorrupt", name, err)
+		}
+		var ce *CheckpointError
+		if !errors.As(err, &ce) || ce.Section != "order" {
+			t.Fatalf("%s: error %v does not name the order section", name, err)
+		}
 	}
 }
 
@@ -273,6 +359,25 @@ func TestResumeOptionsStrategy(t *testing.T) {
 	if _, err := ResumeOptions(Options{Strategy: Sequential{}}, c, ck); err != nil {
 		t.Fatalf("cleared strategy still validated: %v", err)
 	}
+
+	// The recorded order wins over any caller-set InitialOrder — the
+	// state is only meaningful under the order it was taken with.
+	ck.Order = []int{1, 0, 3, 2}
+	opt, err = ResumeOptions(Options{Strategy: Sequential{}, InitialOrder: []int{3, 2, 1, 0}}, c, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ordersEqual(opt.InitialOrder, ck.Order) {
+		t.Fatalf("resume order %v, want %v", opt.InitialOrder, ck.Order)
+	}
+	ck.Order = nil
+	opt, err = ResumeOptions(Options{Strategy: Sequential{}, InitialOrder: []int{3, 2, 1, 0}}, c, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.InitialOrder != nil {
+		t.Fatalf("identity-order checkpoint resumed with order %v", opt.InitialOrder)
+	}
 }
 
 // FuzzReadCheckpoint throws arbitrary bytes at the reader: it must
@@ -293,6 +398,29 @@ func FuzzReadCheckpoint(f *testing.F) {
 	mut := bytes.Clone(v2)
 	mut[11] ^= 0xff
 	f.Add(mut)
+	// Order-section seeds: a corrupted byte inside the 'O' payload, and
+	// the 'O' tag flipped to an unknown section. The section is located
+	// by walking the tagged-section layout.
+	forOrderTag := func(mutate func(data []byte, tagPos int)) []byte {
+		data := bytes.Clone(v2)
+		pos := 8
+		for pos < len(data) {
+			tag := data[pos]
+			length, n := binary.Uvarint(data[pos+1:])
+			if tag == byte(ckptSectionOrder) {
+				mutate(data, pos)
+				return data
+			}
+			pos += 1 + n + 4 + int(length)
+		}
+		f.Fatal("order section not found in seed checkpoint")
+		return nil
+	}
+	f.Add(forOrderTag(func(data []byte, tagPos int) {
+		_, n := binary.Uvarint(data[tagPos+1:])
+		data[tagPos+1+n+4] ^= 0x01 // first byte of the 'O' payload
+	}))
+	f.Add(forOrderTag(func(data []byte, tagPos int) { data[tagPos] = 'Q' }))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadCheckpoint(bytes.NewReader(data), dd.New())
@@ -320,6 +448,11 @@ func FuzzReadCheckpoint(f *testing.F) {
 			again.Fallbacks != got.Fallbacks || again.Strategy != got.Strategy ||
 			again.Repairs != got.Repairs {
 			t.Fatalf("fixpoint mismatch: %+v vs %+v", got, again)
+		}
+		// The v1 encoding has no order section, so only the v2 round
+		// trip preserves Order.
+		if got.Version == 2 && !ordersEqual(again.Order, got.Order) {
+			t.Fatalf("order fixpoint mismatch: %v vs %v", got.Order, again.Order)
 		}
 	})
 }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/dd"
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // Strategy decides when the accumulated operation matrix is applied to
@@ -213,6 +214,31 @@ type Options struct {
 	// are identical either way; the switch exists for differential
 	// testing and for measuring the optimisation (Stats.IdentitySkips*).
 	DisableIdentitySkip bool
+	// Reorder selects dynamic variable reordering: "" or "off" for the
+	// fixed identity order, "static" to derive a circuit-preprocessing
+	// order from the qubit-interaction graph (sched.StaticOrder; only
+	// for fresh runs — when InitialOrder, InitialState or StartGate
+	// already pin the order, the derivation is skipped), or "sifting"
+	// for in-run sifting at flush boundaries, triggered by the growth
+	// heuristic below. Gates are mapped through the live permutation
+	// before GateDD, so the circuit itself is never rewritten.
+	Reorder string
+	// InitialOrder sets the starting DD variable order: order[level] =
+	// circuit qubit, a permutation of [0, NQubits). Nil means identity.
+	// When InitialState is set it must already be encoded in this order
+	// (checkpoints record the order for exactly this reason). The slice
+	// is copied.
+	InitialOrder []int
+	// SiftGrowth is the growth factor over the post-sift baseline size
+	// that triggers the next sifting pass (default 2). SiftMinNodes is
+	// the state size below which sifting is never attempted (default
+	// 256). SiftMaxSwaps bounds the swaps of one pass (default 8·n²,
+	// enough for a few full rounds; sifting additionally aborts with
+	// the run's deadline/budget/cancellation machinery, probed at every
+	// swap).
+	SiftGrowth   float64
+	SiftMinNodes int
+	SiftMaxSwaps int
 }
 
 const defaultGCThreshold = 200_000
@@ -339,7 +365,12 @@ type Result struct {
 	// NormDrift is the largest |norm − 1| the verification passes
 	// observed (zero when verification was disabled).
 	NormDrift float64
-	Trace     []TracePoint
+	// Order is the final DD variable order (order[level] = circuit
+	// qubit; nil means identity). State is encoded in this order —
+	// amplitude extraction and sampling must map indices through it
+	// (dd.VectorInOrder / dd.IndexFromDD).
+	Order []int
+	Trace []TracePoint
 }
 
 // Run simulates circuit c from |0…0> (or Options.InitialState) and
@@ -377,6 +408,26 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 	if opt.StartGate < 0 || opt.StartGate > len(c.Gates) {
 		return nil, fmt.Errorf("core: StartGate %d out of range for %d gates", opt.StartGate, len(c.Gates))
 	}
+	switch opt.Reorder {
+	case "", "off", "static", "sifting":
+	default:
+		return nil, fmt.Errorf("core: unknown Reorder mode %q (want off, static or sifting)", opt.Reorder)
+	}
+	var order []int
+	if opt.InitialOrder != nil {
+		if len(opt.InitialOrder) != c.NQubits || !dd.IsPermutation(opt.InitialOrder) {
+			return nil, fmt.Errorf("core: InitialOrder %v is not a permutation of [0,%d)", opt.InitialOrder, c.NQubits)
+		}
+		order = append([]int(nil), opt.InitialOrder...)
+	} else if opt.Reorder == "static" && opt.InitialState == nil && opt.StartGate == 0 {
+		order = sched.StaticOrder(c)
+	}
+	if identityOrder(order) {
+		order = nil // keep the identity fast paths
+	}
+	// Everything downstream (verifier bootstrap, checkpoints) reads the
+	// resolved start order from the options copy.
+	opt.InitialOrder = order
 	eng := opt.Engine
 	if eng == nil {
 		eng = dd.New()
@@ -422,7 +473,9 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 		lastCkpt:  opt.StartGate,
 		stateSz:   -1,
 		statsBase: statsBefore,
+		order:     order,
 	}
+	r.buildPos()
 	if ro != nil {
 		eng.SetObserver(ro)
 		defer func() { r.eng.SetObserver(nil) }()
@@ -467,6 +520,7 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 		MatMatSteps:  int(runDelta.MatMatMuls),
 		GatesApplied: r.applied,
 		Fallbacks:    r.fallbacks,
+		Order:        append([]int(nil), r.order...),
 	}
 	if ver != nil {
 		res.Repairs = ver.repairs
@@ -511,6 +565,17 @@ type runner struct {
 	fallbacks  int
 	inFallback bool
 	lastCkpt   int
+
+	// order is the live DD variable order (order[level] = circuit
+	// qubit; nil = identity), pos its inverse (pos[qubit] = level).
+	// Gates are mapped through pos at absorption, so the circuit is
+	// never rewritten. siftBase is the post-sift baseline size the
+	// growth trigger compares against (0 = unset). ctlScratch is
+	// gateDD's reusable control-mapping buffer.
+	order      []int
+	pos        []int
+	siftBase   int
+	ctlScratch []dd.Control
 
 	// blockMat keeps combined block matrices alive across GC.
 	blockMats []dd.MEdge
@@ -585,6 +650,15 @@ func (r *runner) run() error {
 				}
 				continue
 			}
+			// Reorder only at flush boundaries: the accumulator is
+			// invalid here, so no combined matrix can go stale against
+			// the new order.
+			if err := r.maybeReorder(); err != nil {
+				if err = r.maybeRepairOnPanic(err); err != nil {
+					return err
+				}
+				continue
+			}
 		}
 		r.maybeGC()
 		if err := r.maybeCheckpoint(); err != nil {
@@ -616,8 +690,7 @@ func (r *runner) absorbNext() error {
 		r.accStart = i
 	}
 	err := r.guard(i, func() {
-		g := r.c.Gates[i]
-		gd := r.eng.GateDD(g.Matrix, r.c.NQubits, g.Target, g.Controls)
+		gd := r.gateDD(r.c.Gates[i])
 		if r.accValid {
 			r.acc = r.eng.MulMat(gd, r.acc)
 			r.combined++
@@ -677,12 +750,133 @@ func (r *runner) tryFallback(runErr *RunError, from, to int) error {
 	for i := from; i < to; i++ {
 		g := r.c.Gates[i]
 		if err := r.guard(i, func() {
-			gd := r.eng.GateDD(g.Matrix, r.c.NQubits, g.Target, g.Controls)
-			r.applyOp(gd, i+1, 1, false, "", false)
+			r.applyOp(r.gateDD(g), i+1, 1, false, "", false)
 		}); err != nil {
 			return err
 		}
 		r.maybeGC()
+	}
+	return nil
+}
+
+// gateDD builds one gate's matrix DD with its qubits mapped through
+// the live variable order (identity when no reorder is active). The
+// control buffer is reused across calls, keeping the mapped path
+// allocation-free in steady state.
+func (r *runner) gateDD(g circuit.Gate) dd.MEdge {
+	if r.order == nil {
+		return r.eng.GateDD(g.Matrix, r.c.NQubits, g.Target, g.Controls)
+	}
+	ctl := r.ctlScratch[:0]
+	for _, c := range g.Controls {
+		ctl = append(ctl, dd.Control{Qubit: r.pos[c.Qubit], Negative: c.Negative})
+	}
+	r.ctlScratch = ctl
+	return r.eng.GateDD(g.Matrix, r.c.NQubits, r.pos[g.Target], ctl)
+}
+
+// buildPos refreshes the qubit→level inverse of r.order.
+func (r *runner) buildPos() {
+	if r.order == nil {
+		r.pos = nil
+		return
+	}
+	if cap(r.pos) < len(r.order) {
+		r.pos = make([]int, len(r.order))
+	}
+	r.pos = r.pos[:len(r.order)]
+	for l, q := range r.order {
+		r.pos[q] = l
+	}
+}
+
+// identityOrder reports whether order is nil or the identity map.
+func identityOrder(order []int) bool {
+	for l, q := range order {
+		if l != q {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *runner) siftGrowth() float64 {
+	if r.opt.SiftGrowth <= 0 {
+		return 2
+	}
+	return r.opt.SiftGrowth
+}
+
+func (r *runner) siftMinNodes() int {
+	if r.opt.SiftMinNodes <= 0 {
+		return 256
+	}
+	return r.opt.SiftMinNodes
+}
+
+func (r *runner) siftMaxSwaps() int {
+	if r.opt.SiftMaxSwaps > 0 {
+		return r.opt.SiftMaxSwaps
+	}
+	n := r.c.NQubits
+	return 8 * n * n
+}
+
+// maybeReorder runs one sifting pass when the state DD has outgrown
+// the post-sift baseline. Called only at flush boundaries (the
+// accumulator is invalid), so combined operation matrices never go
+// stale against the new order. A cooperative abort inside sifting —
+// the swap primitive probes the deadline/budget/cancellation layer on
+// every swap — leaves r.v and r.order untouched (SiftV works on a
+// scratch copy of the order) and surfaces through the usual guard.
+func (r *runner) maybeReorder() error {
+	if r.opt.Reorder != "sifting" || r.accValid {
+		return nil
+	}
+	if r.stateSz < 0 {
+		r.stateSz = r.eng.SizeV(r.v)
+	}
+	sz := r.stateSz
+	if sz < r.siftMinNodes() {
+		r.siftBase = 0
+		return nil
+	}
+	if r.siftBase == 0 {
+		r.siftBase = sz
+	}
+	if float64(sz) < r.siftGrowth()*float64(r.siftBase) {
+		return nil
+	}
+	// Sifting under a nearly exhausted node budget would spend the
+	// remaining headroom on intermediate diagrams and abort the run
+	// over an optimisation; skip until collection makes room.
+	if r.opt.MaxNodes > 0 && (r.eng.VNodeCount()+r.eng.MNodeCount())*2 > r.opt.MaxNodes {
+		return nil
+	}
+	order := r.order
+	if order == nil {
+		order = dd.IdentityOrder(r.c.NQubits)
+	} else {
+		order = append([]int(nil), order...)
+	}
+	var (
+		sifted dd.VEdge
+		sres   dd.SiftResult
+	)
+	if err := r.guard(r.next, func() {
+		sifted, sres = r.eng.SiftV(r.v, order, r.siftMaxSwaps())
+	}); err != nil {
+		return err
+	}
+	r.v = sifted
+	r.order = order
+	r.buildPos()
+	r.stateSz = sres.After
+	r.siftBase = sres.After
+	// Drop the intermediate diagrams sifting interned.
+	r.collect()
+	if r.obs != nil {
+		r.obs.reorderEv(r.applied, sres)
 	}
 	return nil
 }
@@ -753,11 +947,13 @@ func (r *runner) runBlock(b circuit.Block) error {
 	end := b.Start + b.Repeat*body
 	var mat dd.MEdge
 	err := r.guard(b.Start, func() {
-		m, cerr := CombineGates(r.eng, r.c, b.Start, b.End)
-		if cerr != nil {
-			panic(cerr)
+		// Fold through r.gateDD so block matrices respect the live
+		// order; sifting never runs inside a block, so the matrix
+		// cannot go stale across the repeats.
+		mat = r.gateDD(r.c.Gates[b.Start])
+		for i := b.Start + 1; i < b.End; i++ {
+			mat = r.eng.MulMat(r.gateDD(r.c.Gates[i]), mat)
 		}
-		mat = m
 	})
 	if err != nil {
 		if ferr := r.tryFallback(err, b.Start, end); ferr != nil {
@@ -879,6 +1075,7 @@ func (r *runner) checkpoint() *Checkpoint {
 		Fallbacks:   r.fallbacks,
 		Strategy:    r.opt.Strategy.Name(),
 		Repairs:     repairs,
+		Order:       append([]int(nil), r.order...),
 		State:       r.v,
 	}
 }

@@ -54,8 +54,13 @@ type runMetrics struct {
 	repairs                  *obs.Counter
 	plannerDecisions         *obs.Counter
 	plannerFlushes           *obs.Counter
+	reorders                 *obs.Counter
+	reorderSwaps             *obs.Counter
+	reorderSiftPasses        *obs.Counter
 	liveNodes                *obs.Gauge
 	plannerWindow            *obs.Gauge
+	reorderNodesBefore       *obs.Gauge
+	reorderNodesAfter        *obs.Gauge
 	stepSeconds, gcPauseSecs *obs.Histogram
 	stateNodes, opNodes      *obs.Histogram
 }
@@ -84,8 +89,13 @@ func newRunMetrics(r *obs.Registry) *runMetrics {
 		repairs:            r.Counter("dd_repairs_total", "Corruption recoveries (state rebuilt and replayed)."),
 		plannerDecisions:   r.Counter("dd_planner_decisions_total", "Planner flush evaluations (one per gate absorbed under the planner)."),
 		plannerFlushes:     r.Counter("dd_planner_flushes_total", "Planner flush decisions taken."),
+		reorders:           r.Counter("dd_reorder_total", "Dynamic variable-reordering (sifting) passes."),
+		reorderSwaps:       r.Counter("dd_reorder_swaps_total", "Adjacent level swaps performed by dynamic reordering."),
+		reorderSiftPasses:  r.Counter("dd_reorder_sift_passes_total", "Variables sifted by dynamic reordering."),
 		liveNodes:          r.Gauge("dd_live_nodes", "Live nodes in the unique tables (vector + matrix)."),
 		plannerWindow:      r.Gauge("dd_planner_window", "Planner target combination window after the last decision."),
+		reorderNodesBefore: r.Gauge("dd_reorder_nodes_before", "State DD size entering the last sifting pass."),
+		reorderNodesAfter:  r.Gauge("dd_reorder_nodes_after", "State DD size leaving the last sifting pass."),
 		stepSeconds:        r.Histogram("dd_step_seconds", "Wall time per applied operation.", latBuckets),
 		gcPauseSecs:        r.Histogram("dd_gc_pause_seconds", "Engine GC pause durations.", gcBuckets),
 		stateNodes:         r.Histogram("dd_state_nodes", "State DD size after each applied operation.", nodeBuckets),
@@ -246,6 +256,25 @@ func (o *runObserver) plannerEv(gate int, d PlannerDecision) {
 	})
 }
 
+// reorderEv records one dynamic reordering (sifting) pass.
+func (o *runObserver) reorderEv(gate int, sr dd.SiftResult) {
+	if o.met != nil {
+		o.met.reorders.Inc()
+		o.met.reorderSwaps.Add(uint64(sr.Swaps))
+		o.met.reorderSiftPasses.Add(uint64(sr.Passes))
+		o.met.reorderNodesBefore.Set(int64(sr.Before))
+		o.met.reorderNodesAfter.Set(int64(sr.After))
+	}
+	o.emit(obs.Event{
+		Kind:        obs.KindReorder,
+		Gate:        gate,
+		Swaps:       uint64(sr.Swaps),
+		SiftPasses:  uint64(sr.Passes),
+		NodesBefore: sr.Before,
+		NodesAfter:  sr.After,
+	})
+}
+
 // repairEv records a corruption recovery; replayed is the number of
 // gates re-applied on the fresh engine.
 func (o *runObserver) repairEv(gate, replayed int, check string) {
@@ -298,6 +327,8 @@ func (o *runObserver) finish(applied, stateNodes, fallbacks int, err error) {
 		PeakNodes:       totals.PeakVNodes + totals.PeakMNodes,
 		Fallbacks:       fallbacks,
 		Abort:           abort,
+		Swaps:           totals.ReorderSwaps,
+		SiftPasses:      totals.SiftPasses,
 	})
 }
 

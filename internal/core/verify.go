@@ -36,9 +36,13 @@ type verifier struct {
 
 	// Last verified snapshot, held in a private engine the simulation
 	// never touches so main-engine corruption cannot reach it.
+	// snapOrder is the variable order the snapshot state is encoded in
+	// (a copy; nil = identity) — a repair must restore it before
+	// replaying, since sifting may have moved the live order since.
 	snapEng   *dd.Engine
 	snap      dd.VEdge
 	snapGate  int
+	snapOrder []int
 	snapValid bool
 
 	repairs  int
@@ -64,7 +68,9 @@ func newVerifier(c *circuit.Circuit, opt Options) (*verifier, error) {
 		}
 		var initial []complex128
 		if opt.InitialState != nil {
-			initial = opt.InitialState.ToVector()
+			// The caller's state is encoded in InitialOrder; the oracle
+			// wants circuit-ordered amplitudes.
+			initial = dd.VectorInOrder(*opt.InitialState, opt.InitialOrder)
 		}
 		oracle, err := verify.NewLockstep(c, opt.StartGate, initial)
 		if err != nil {
@@ -140,7 +146,7 @@ func (r *runner) runChecks() (check string, ierr error, rerr *RunError) {
 				check, ierr = "oracle", err
 				return
 			}
-			if err := r.ver.oracle.Check(r.v); err != nil {
+			if err := r.ver.oracle.CheckOrdered(r.v, r.order); err != nil {
 				check, ierr = "oracle", err
 				return
 			}
@@ -165,6 +171,7 @@ func (r *runner) snapshot() {
 	}
 	r.ver.snap = r.ver.snapEng.CopyV(r.v)
 	r.ver.snapGate = r.applied
+	r.ver.snapOrder = append([]int(nil), r.order...)
 	r.ver.snapValid = true
 	r.ver.snapEng.GarbageCollect([]dd.VEdge{r.ver.snap}, nil)
 }
@@ -209,6 +216,9 @@ func (r *runner) attemptRepair(check string, ierr error) error {
 			r.ver.snapEng = dd.New()
 			r.ver.snap = r.ver.snapEng.ZeroState(r.c.NQubits)
 			r.ver.snapGate = 0
+			// |0…0> is permutation-symmetric, so the replay may start
+			// from the run's initial order.
+			r.ver.snapOrder = append([]int(nil), r.opt.InitialOrder...)
 			r.ver.snapValid = true
 		} else {
 			return corruption(fmt.Errorf("no verified snapshot to rebuild from: %w", ierr))
@@ -223,6 +233,12 @@ func (r *runner) attemptRepair(check string, ierr error) error {
 	r.applied = r.ver.snapGate
 	r.accValid = false
 	r.combined = 0
+	// The snapshot is encoded in the order current at snapshot time;
+	// sifting may have moved the live order since, so restore it (and
+	// the qubit→level map the replay's gateDD reads).
+	r.order = append([]int(nil), r.ver.snapOrder...)
+	r.buildPos()
+	r.siftBase = 0
 
 	// Replay the in-flight gates one at a time — small gate DDs, no
 	// accumulated matrix — so the rebuilt engine reaches the state the
@@ -230,8 +246,7 @@ func (r *runner) attemptRepair(check string, ierr error) error {
 	for i := r.ver.snapGate; i < target; i++ {
 		g := r.c.Gates[i]
 		if err := r.guard(i, func() {
-			gd := r.eng.GateDD(g.Matrix, r.c.NQubits, g.Target, g.Controls)
-			r.applyOp(gd, i+1, 1, false, "", false)
+			r.applyOp(r.gateDD(g), i+1, 1, false, "", false)
 		}); err != nil {
 			return corruption(errors.Join(ierr, err))
 		}
@@ -321,6 +336,8 @@ func statsDelta(cur, base dd.Stats) dd.Stats {
 	d.Aborts -= base.Aborts
 	d.FaultsInjected -= base.FaultsInjected
 	d.DeadlineClockReads -= base.DeadlineClockReads
+	d.ReorderSwaps -= base.ReorderSwaps
+	d.SiftPasses -= base.SiftPasses
 	return d
 }
 
@@ -352,6 +369,8 @@ func statsSum(a, b dd.Stats) dd.Stats {
 	s.Aborts += b.Aborts
 	s.FaultsInjected += b.FaultsInjected
 	s.DeadlineClockReads += b.DeadlineClockReads
+	s.ReorderSwaps += b.ReorderSwaps
+	s.SiftPasses += b.SiftPasses
 	if b.GCMaxPause > s.GCMaxPause {
 		s.GCMaxPause = b.GCMaxPause
 	}

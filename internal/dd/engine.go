@@ -257,6 +257,12 @@ type Stats struct {
 	// abortCheck; tests pin the ratio.
 	DeadlineClockReads uint64
 
+	// ReorderSwaps counts adjacent level swaps performed by the dynamic
+	// reordering layer (see reorder.go); SiftPasses counts variables
+	// sifted (one pass moves one variable through all positions).
+	ReorderSwaps uint64
+	SiftPasses   uint64
+
 	PeakVNodes     int
 	PeakMNodes     int
 	PeakVectorSize int // largest state-vector DD observed via NoteVectorSize
@@ -394,6 +400,16 @@ func (e *Engine) VNodeCount() int { return e.vUnique.live }
 
 // MNodeCount returns the number of live matrix nodes in the unique table.
 func (e *Engine) MNodeCount() int { return e.mUnique.live }
+
+// VLevelCount returns the number of live vector nodes at DD level l —
+// the per-level unique-table index maintained by insert and sweep.
+// Note the count covers everything live in the table, including
+// garbage not yet collected; sifting heuristics that want per-diagram
+// occupancy should GC first or walk the diagram.
+func (e *Engine) VLevelCount(l int) int { return e.vUnique.levelCount(l) }
+
+// MLevelCount returns the number of live matrix nodes at DD level l.
+func (e *Engine) MLevelCount(l int) int { return e.mUnique.levelCount(l) }
 
 // NoteVectorSize records s as an observed state-vector DD size for the
 // peak statistics.

@@ -34,12 +34,54 @@ type vTable struct {
 	slots []*VNode
 	live  int // real entries
 	dead  int // tombstones
+	// levels[v] counts the live nodes at variable v — the per-level
+	// index dynamic reordering reads (sifting orders variables by
+	// occupancy, swaps touch only the two affected levels' counts).
+	// Maintained by insertAt/sweep; grows only when a new topmost
+	// level first appears, so the steady state stays allocation-free.
+	levels []int
 }
 
 type mTable struct {
 	slots []*MNode
 	live  int
 	dead  int
+	levels []int
+}
+
+// noteLevel adjusts the live count of level v by d, growing the index
+// on first sight of a new level.
+func (t *vTable) noteLevel(v int32, d int) {
+	if int(v) >= len(t.levels) {
+		grown := make([]int, int(v)+9)
+		copy(grown, t.levels)
+		t.levels = grown
+	}
+	t.levels[v] += d
+}
+
+func (t *mTable) noteLevel(v int32, d int) {
+	if int(v) >= len(t.levels) {
+		grown := make([]int, int(v)+9)
+		copy(grown, t.levels)
+		t.levels = grown
+	}
+	t.levels[v] += d
+}
+
+// levelCount returns the live-node count at level v.
+func (t *vTable) levelCount(v int) int {
+	if v < 0 || v >= len(t.levels) {
+		return 0
+	}
+	return t.levels[v]
+}
+
+func (t *mTable) levelCount(v int) int {
+	if v < 0 || v >= len(t.levels) {
+		return 0
+	}
+	return t.levels[v]
 }
 
 func newVTable() vTable { return vTable{slots: make([]*VNode, 1<<tableInitBits)} }
@@ -105,6 +147,7 @@ func (t *vTable) insertAt(slot int, n *VNode) {
 	}
 	t.slots[slot] = n
 	t.live++
+	t.noteLevel(n.V, 1)
 	if (t.live+t.dead)*loadDen >= len(t.slots)*loadNum {
 		t.rehash()
 	}
@@ -116,6 +159,7 @@ func (t *mTable) insertAt(slot int, n *MNode) {
 	}
 	t.slots[slot] = n
 	t.live++
+	t.noteLevel(n.V, 1)
 	if (t.live+t.dead)*loadDen >= len(t.slots)*loadNum {
 		t.rehash()
 	}
@@ -180,6 +224,7 @@ func (t *vTable) sweep(epoch uint32, a *vArena) int {
 		if s.mark != epoch {
 			t.slots[i] = vTombstone
 			t.live--
+			t.noteLevel(s.V, -1)
 			t.dead++
 			freed++
 			a.release(s)
@@ -197,6 +242,7 @@ func (t *mTable) sweep(epoch uint32, m *mArena) int {
 		if s.mark != epoch {
 			t.slots[i] = mTombstone
 			t.live--
+			t.noteLevel(s.V, -1)
 			t.dead++
 			freed++
 			m.release(s)

@@ -60,6 +60,11 @@ const (
 	// Event.Window the planner's target combination window at the
 	// decision.
 	KindPlanner
+	// KindReorder is one dynamic variable-reordering pass (sifting):
+	// Event.Swaps counts adjacent level swaps, Event.SiftPasses the
+	// variables sifted, and Event.NodesBefore/NodesAfter the state DD
+	// size around the pass.
+	KindReorder
 )
 
 var kindNames = [...]string{
@@ -73,6 +78,7 @@ var kindNames = [...]string{
 	KindVerify:     "verify",
 	KindRepair:     "repair",
 	KindPlanner:    "planner",
+	KindReorder:    "reorder",
 }
 
 // String returns the kind's wire name.
@@ -182,6 +188,13 @@ type Event struct {
 	// target combination window at the decision.
 	Decision string `json:"decision,omitempty"`
 	Window   int    `json:"window,omitempty"`
+
+	// Dynamic reordering telemetry (KindReorder; Swaps and SiftPasses
+	// are also run totals on KindRunEnd).
+	Swaps       uint64 `json:"swaps,omitempty"`
+	SiftPasses  uint64 `json:"sift_passes,omitempty"`
+	NodesBefore int    `json:"nodes_before,omitempty"`
+	NodesAfter  int    `json:"nodes_after,omitempty"`
 }
 
 // Time returns the emission time as a time.Time.

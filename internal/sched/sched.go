@@ -97,3 +97,73 @@ func minQubit(g circuit.Gate) int {
 // Depth returns the layered depth (equals circuit.Depth, exposed here
 // for the scheduling reports).
 func Depth(c *circuit.Circuit) int { return len(Layers(c)) }
+
+// StaticOrder proposes a DD variable order for c from its qubit-
+// interaction graph — the circuit-preprocessing reorder trick of
+// arXiv 2211.07110: qubits that interact (share multi-qubit gates)
+// should sit on adjacent DD levels, because entanglement between
+// distant levels multiplies node counts across every level in between.
+//
+// The heuristic is a greedy linear arrangement. Edge weights count the
+// multi-qubit gates coupling each qubit pair; the arrangement starts
+// from the qubit with the heaviest total coupling and repeatedly
+// appends the unplaced qubit with the strongest connection to the
+// already-placed set (falling back to the heaviest unplaced qubit when
+// a new connected component starts). Ties break towards the lower
+// qubit index, so the pass is deterministic.
+//
+// The result uses the dd reordering convention order[level] = circuit
+// qubit and is always a permutation of [0, NQubits); feeding it to
+// core.Options.InitialOrder reorders the run without any circuit
+// transformation — gates are mapped through the permutation at
+// absorption time.
+func StaticOrder(c *circuit.Circuit) []int {
+	n := c.NQubits
+	w := make([][]int, n)
+	for i := range w {
+		w[i] = make([]int, n)
+	}
+	deg := make([]int, n)
+	for _, g := range c.Gates {
+		qs := support(g)
+		for i := 0; i < len(qs); i++ {
+			for j := i + 1; j < len(qs); j++ {
+				a, b := qs[i], qs[j]
+				if a == b {
+					continue
+				}
+				w[a][b]++
+				w[b][a]++
+				deg[a]++
+				deg[b]++
+			}
+		}
+	}
+	placed := make([]bool, n)
+	conn := make([]int, n) // coupling of each unplaced qubit to the placed set
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestScore, seeding := -1, -1, true
+		for q := 0; q < n; q++ {
+			if placed[q] {
+				continue
+			}
+			score := conn[q]
+			if score > 0 {
+				if seeding || score > bestScore {
+					best, bestScore, seeding = q, score, false
+				}
+			} else if seeding && deg[q] > bestScore {
+				best, bestScore = q, deg[q]
+			}
+		}
+		placed[best] = true
+		order = append(order, best)
+		for q := 0; q < n; q++ {
+			if !placed[q] {
+				conn[q] += w[best][q]
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,162 @@
+// These tests drive internal/core, which itself imports sched for the
+// static reorder pass — in-package tests would form an import cycle, so
+// they live in the external test package.
+package sched_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/dense"
+	"repro/internal/sched"
+	"repro/internal/verify"
+)
+
+func TestReorderingUnderStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := verify.RandomCircuit(rng, 5, 60)
+	ref, err := core.Run(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []*circuit.Circuit{sched.ASAP(c), sched.ByLocality(c)} {
+		res, err := core.Run(variant, core.Options{Strategy: core.KOperations{K: 4}, Engine: ref.Engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := ref.Engine.Fidelity(res.State, ref.State); math.Abs(f-1) > 1e-9 {
+			t.Fatalf("reordered simulation differs: fidelity %v", f)
+		}
+	}
+}
+
+// crossCircuit entangles qubit i with qubit i+n/2 — the canonical
+// order-sensitive workload: identity order pays 2^(n/2) nodes, an
+// interleaved order O(n).
+func crossCircuit(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	half := n / 2
+	for i := 0; i < half; i++ {
+		c.H(i)
+		c.CX(i, i+half)
+	}
+	return c
+}
+
+func TestStaticOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(7)
+		c := verify.RandomCircuit(rng, n, 30)
+		order := sched.StaticOrder(c)
+		if len(order) != n || !dd.IsPermutation(order) {
+			t.Fatalf("trial %d: StaticOrder returned %v for %d qubits", trial, order, n)
+		}
+		again := sched.StaticOrder(c)
+		for l := range order {
+			if order[l] != again[l] {
+				t.Fatalf("trial %d: StaticOrder not deterministic: %v vs %v", trial, order, again)
+			}
+		}
+	}
+}
+
+func TestStaticOrderInterleavesCrossRegisters(t *testing.T) {
+	n := 8
+	order := sched.StaticOrder(crossCircuit(n))
+	pos := make([]int, n)
+	for l, q := range order {
+		pos[q] = l
+	}
+	for i := 0; i < n/2; i++ {
+		if d := pos[i] - pos[i+n/2]; d != 1 && d != -1 {
+			t.Fatalf("qubits %d and %d not adjacent in static order %v", i, i+n/2, order)
+		}
+	}
+}
+
+// TestSchedulesComposedWithStaticOrder composes the gate schedulers
+// with the static reorder pass: the rescheduled circuit must stay legal
+// (per-qubit wire order preserved) and simulating it under the derived
+// variable order must reproduce the original circuit's amplitudes.
+func TestSchedulesComposedWithStaticOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 6; trial++ {
+		n := 3 + rng.Intn(4)
+		c := verify.RandomCircuit(rng, n, 40)
+		oracle := dense.Simulate(c)
+		for _, variant := range []*circuit.Circuit{sched.ASAP(c), sched.ByLocality(c)} {
+			checkWireOrder(t, c, variant)
+			order := sched.StaticOrder(variant)
+			res, err := core.Run(variant, core.Options{
+				InitialOrder: order,
+				Strategy:     core.KOperations{K: 4},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			amps := dd.VectorInOrder(res.State, res.Order)
+			if f := verify.Fidelity(amps, oracle); f < 1-1e-9 {
+				t.Fatalf("trial %d: schedule+static order changed semantics (fidelity %v, order %v)",
+					trial, f, order)
+			}
+		}
+		// The same composition through the automatic pass.
+		res, err := core.Run(sched.ByLocality(c), core.Options{Reorder: "static"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		amps := dd.VectorInOrder(res.State, res.Order)
+		if f := verify.Fidelity(amps, oracle); f < 1-1e-9 {
+			t.Fatalf("trial %d: Reorder=static run changed semantics (fidelity %v)", trial, f)
+		}
+	}
+}
+
+func checkWireOrder(t *testing.T, orig, variant *circuit.Circuit) {
+	t.Helper()
+	key := func(g circuit.Gate) string {
+		s := g.Name
+		for _, c := range g.Controls {
+			s += string(rune('0' + c.Qubit))
+		}
+		return s + string(rune('0'+g.Target))
+	}
+	for q := 0; q < orig.NQubits; q++ {
+		var a, b []string
+		for _, g := range orig.Gates {
+			if touchesQubit(g, q) {
+				a = append(a, key(g))
+			}
+		}
+		for _, g := range variant.Gates {
+			if touchesQubit(g, q) {
+				b = append(b, key(g))
+			}
+		}
+		if len(a) != len(b) {
+			t.Fatalf("qubit %d gate count changed", q)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("qubit %d wire order changed at %d: %s vs %s", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func touchesQubit(g circuit.Gate, q int) bool {
+	if g.Target == q {
+		return true
+	}
+	for _, c := range g.Controls {
+		if c.Qubit == q {
+			return true
+		}
+	}
+	return false
+}

@@ -1,12 +1,10 @@
 package sched
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/circuit"
-	"repro/internal/core"
 	"repro/internal/dense"
 )
 
@@ -127,24 +125,6 @@ func TestByLocalitySortsWithinLayers(t *testing.T) {
 	for i, g := range out.Gates {
 		if g.Target != i {
 			t.Fatalf("intra-layer sorting wrong: %v", out.Gates)
-		}
-	}
-}
-
-func TestReorderingUnderStrategies(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
-	c := randomCircuit(rng, 5, 60)
-	ref, err := core.Run(c, core.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, variant := range []*circuit.Circuit{ASAP(c), ByLocality(c)} {
-		res, err := core.Run(variant, core.Options{Strategy: core.KOperations{K: 4}, Engine: ref.Engine})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if f := ref.Engine.Fidelity(res.State, ref.State); math.Abs(f-1) > 1e-9 {
-			t.Fatalf("reordered simulation differs: fidelity %v", f)
 		}
 	}
 }

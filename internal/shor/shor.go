@@ -116,9 +116,21 @@ func SimulateGateLevel(modN, a uint64, opt core.Options, rng *rand.Rand) (*Resul
 		if err != nil {
 			return nil, fmt.Errorf("shor: round %d: %w", j, err)
 		}
-		bit, post := eng.ResetQubit(res.State, l.Control(), rng)
+		// Under dynamic reordering the control qubit may live at a
+		// permuted DD level; ResetQubit addresses levels, so map it.
+		// The reset itself leaves the permutation intact — carry it
+		// into the next round so the state keeps its meaning.
+		ctl := l.Control()
+		for lev, q := range res.Order {
+			if q == ctl {
+				ctl = lev
+				break
+			}
+		}
+		bit, post := eng.ResetQubit(res.State, ctl, rng)
 		bits = append(bits, bit)
 		v = post
+		opt.InitialOrder = res.Order
 	}
 
 	var phase uint64

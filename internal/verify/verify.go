@@ -157,7 +157,16 @@ func (l *Lockstep) State() *dense.State { return l.state }
 // and returns an ErrMismatch-wrapping error when fidelity falls below
 // 1 − FidelityTol.
 func (l *Lockstep) Check(v dd.VEdge) error {
-	amps := v.ToVector()
+	return l.CheckOrdered(v, nil)
+}
+
+// CheckOrdered is Check for a DD whose levels are permuted: order maps
+// DD level to circuit qubit (dd reordering convention; nil means
+// identity). The DD amplitudes are mapped back to circuit order before
+// the fidelity comparison, so the oracle stays oblivious to how the
+// runner permutes its levels.
+func (l *Lockstep) CheckOrdered(v dd.VEdge, order []int) error {
+	amps := dd.VectorInOrder(v, order)
 	if len(amps) != len(l.state.Amps) {
 		return fmt.Errorf("%w: state spans %d amplitudes, oracle %d after gate %d",
 			ErrMismatch, len(amps), len(l.state.Amps), l.applied)
