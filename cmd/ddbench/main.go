@@ -59,6 +59,8 @@ func main() {
 		reps       = flag.Int("reps", 1, "timing repetitions (fastest run reported)")
 		budget     = flag.Duration("budget", 30*time.Second, "per-run timeout (paper: 2 CPU hours)")
 		maxNodes   = flag.Int("max-nodes", 0, "per-run live-node budget; exceeding runs are reported as oom cells (0 = unlimited)")
+		softBudget = flag.Int("soft-budget", 0, "arm the memory-pressure governor at this live-node target; rescued cells are marked degraded instead of oom (0 = off unless -degrade is set)")
+		degrade    = flag.String("degrade", "", "governor mode: off, ladder, or approx (degraded cells then carry their fidelity bound)")
 		parallel   = flag.Int("parallel", 1, "run sweep cells through a worker pool of this many workers (cells stay deterministic: same marks and node counts as serial mode, only timings shift)")
 		csvDir     = flag.String("csvdir", "", "also write raw experiment data as CSV files into this directory")
 		metricsOut = flag.String("metrics-out", "", "write an aggregated metrics snapshot over all measured runs (JSON, or Prometheus text if the path ends in .prom)")
@@ -67,7 +69,11 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Reps: *reps, Budget: *budget, MaxNodes: *maxNodes, Full: *full, Parallel: *parallel}
+	cfg := bench.Config{
+		Reps: *reps, Budget: *budget, MaxNodes: *maxNodes,
+		SoftBudget: *softBudget, Degrade: *degrade,
+		Full: *full, Parallel: *parallel,
+	}
 	if *metricsOut != "" {
 		cfg.Metrics = obs.NewRegistry()
 	}

@@ -55,6 +55,7 @@ func main() {
 		breakAfter = flag.Int("break-after", 5, "consecutive terminal failures that open a client's breaker (-1 disables)")
 		breakCool  = flag.Duration("break-cooldown", 30*time.Second, "circuit-breaker cooldown")
 		drainTmo   = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for running jobs to checkpoint and park")
+		pressWin   = flag.Duration("pressure-window", 2*time.Second, "sustained governor pressure before /readyz flips and submissions shed (-1ns disables)")
 		maxBody    = flag.Int64("max-body", 1<<20, "request body cap in bytes")
 		maxQubits  = flag.Int("max-qubits", 30, "widest accepted circuit")
 		maxGates   = flag.Int("max-gates", 1<<20, "longest accepted circuit (gates after expansion)")
@@ -77,6 +78,7 @@ func main() {
 		PerClientActive:  *perClient,
 		BreakerThreshold: *breakAfter,
 		BreakerCooldown:  *breakCool,
+		PressureWindow:   *pressWin,
 		Caps: serve.Caps{
 			MaxBodyBytes: *maxBody,
 			MaxQubits:    *maxQubits,

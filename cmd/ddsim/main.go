@@ -50,6 +50,14 @@
 //
 //	0 success   2 usage      4 node budget exceeded   6 internal panic
 //	1 error     3 timeout    5 canceled                7 state corruption
+//	8 parked under memory pressure (resumable checkpoint written)
+//
+// -soft-budget arms the memory-pressure governor: as live nodes
+// approach the target the run degrades in stages (emergency GC, flush
+// and sequential pinning, sifting) instead of aborting at the -max-nodes
+// cliff; -degrade approx additionally allows fidelity-bounded state
+// truncation, with the resulting bound reported. A run whose ladder is
+// exhausted parks behind a checkpoint and exits 8.
 package main
 
 import (
@@ -101,6 +109,9 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = none)")
 		maxNodes   = flag.Int("max-nodes", 0, "abort operations whose live DD nodes exceed this budget (0 = unlimited)")
 		noFallback = flag.Bool("no-fallback", false, "fail immediately on a node-budget abort instead of replaying the gate run sequentially")
+		softBudget = flag.Int("soft-budget", 0, "arm the memory-pressure governor at this live-node target: degrade in stages near it instead of aborting at -max-nodes (0 = off unless -degrade is set)")
+		degrade    = flag.String("degrade", "", "governor mode: off, ladder (exact measures only), or approx (adds fidelity-bounded truncation; bound is reported)")
+		approxNode = flag.Int("approx-nodes", 0, "state-size target of the approximation rung (-degrade approx; 0 = soft budget / 4)")
 		ckptPath   = flag.String("checkpoint", "", "save a resumable checkpoint to this file (periodically and on abort)")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "gates between periodic checkpoints (0 = checkpoint only on abort)")
 		resume     = flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
@@ -151,6 +162,9 @@ func main() {
 		Paranoid:            *paranoid,
 		DisableIdentitySkip: *noIDSkip,
 		Reorder:             *reorder,
+		SoftBudget:          *softBudget,
+		Degrade:             *degrade,
+		ApproxNodes:         *approxNode,
 	}
 	if *timeout > 0 {
 		baseOpt.Deadline = time.Now().Add(*timeout)
@@ -270,6 +284,15 @@ func main() {
 		fmt.Printf("fallbacks:      %d (gate runs replayed sequentially under -max-nodes %d)\n",
 			res.Fallbacks, *maxNodes)
 	}
+	if len(res.Degradations) > 0 {
+		if res.FidelityBound < 1 {
+			fmt.Printf("governor:       %d degradation(s) under -soft-budget %d, fidelity ≥ %.6g\n",
+				len(res.Degradations), *softBudget, res.FidelityBound)
+		} else {
+			fmt.Printf("governor:       %d degradation(s) under -soft-budget %d (all exact)\n",
+				len(res.Degradations), *softBudget)
+		}
+	}
 	if *verifyEvery > 0 || *paranoid {
 		fmt.Printf("verification:   drift %.2e, %d repair(s)\n", res.NormDrift, res.Repairs)
 	} else if res.Repairs > 0 {
@@ -376,7 +399,7 @@ func hasDynamicOps(text string) bool {
 // reportFailure prints a partial-progress report for an aborted run and
 // exits with a status distinguishing the failure class (3 deadline,
 // 4 budget, 5 canceled, 6 recovered panic / injected fault,
-// 7 unrepairable state corruption).
+// 7 unrepairable state corruption, 8 parked under memory pressure).
 func reportFailure(res *core.Result, c *circuit.Circuit, err error, ckptPath string) {
 	var re *core.RunError
 	if !errors.As(err, &re) {
@@ -405,6 +428,8 @@ func reportFailure(res *core.Result, c *circuit.Circuit, err error, ckptPath str
 		os.Exit(5)
 	case core.FailureCorruption:
 		os.Exit(7)
+	case core.FailurePressure:
+		os.Exit(8)
 	default:
 		os.Exit(6)
 	}

@@ -43,6 +43,14 @@ type Config struct {
 	// Strategy fallback is disabled so the cell reflects the strategy as
 	// configured. Zero means unlimited.
 	MaxNodes int
+	// SoftBudget arms the memory-pressure governor for every measured
+	// run (see core.Options.SoftBudget): cells degrade in stages near
+	// the budget instead of aborting at it. Degraded-but-finished cells
+	// carry a distinct mark. Clamped to MaxNodes when both are set.
+	SoftBudget int
+	// Degrade selects the governor mode ("", "off", "ladder" or
+	// "approx"; see core.Options.Degrade).
+	Degrade string
 	// Full selects the larger instances (several minutes of total
 	// runtime instead of tens of seconds).
 	Full bool
@@ -154,7 +162,13 @@ type Measurement struct {
 	TimedOut bool
 	OOM      bool // node budget exceeded (cfg.MaxNodes)
 	Canceled bool // run cancelled (fail-fast batch abort, ^C)
-	Err      error
+	Parked   bool // memory-pressure governor parked the run
+	// Degraded marks a run that finished, but only because the
+	// memory-pressure governor intervened; FidelityBound is the run's
+	// cumulative fidelity lower bound (1 when every measure was exact).
+	Degraded      bool
+	FidelityBound float64
+	Err           error
 	// Cell carries the run's telemetry totals (Valid=false when the run
 	// died before emitting a run_end event). Aborted cells keep the
 	// partial run's counters.
@@ -162,9 +176,11 @@ type Measurement struct {
 }
 
 // Mark classifies the measurement for table cells: "" for a clean run,
-// "timeout", "oom", "canceled", or "error". Sweeps record the mark per
-// cell instead of aborting, so one blown configuration cannot kill a
-// whole experiment.
+// "timeout", "oom", "canceled", "parked", "error", or — for runs the
+// memory-pressure governor rescued — "degraded" / "degraded(f≥X)" with
+// the fidelity bound when approximation lowered it below 1. Sweeps
+// record the mark per cell instead of aborting, so one blown
+// configuration cannot kill a whole experiment.
 func (m Measurement) Mark() string {
 	switch {
 	case m.TimedOut:
@@ -173,8 +189,14 @@ func (m Measurement) Mark() string {
 		return "oom"
 	case m.Canceled:
 		return "canceled"
+	case m.Parked:
+		return "parked"
 	case m.Err != nil:
 		return "error"
+	case m.Degraded && m.FidelityBound > 0 && m.FidelityBound < 1:
+		return fmt.Sprintf("degraded(f≥%.3g)", m.FidelityBound)
+	case m.Degraded:
+		return "degraded"
 	}
 	return ""
 }
@@ -235,6 +257,13 @@ func timeOnce(w Workload, opt core.Options, cfg Config) Measurement {
 		// budget; silent degradation would blur the comparison.
 		opt.DisableFallback = true
 	}
+	if cfg.SoftBudget > 0 || cfg.Degrade != "" {
+		opt.SoftBudget = cfg.SoftBudget
+		opt.Degrade = cfg.Degrade
+		if opt.MaxNodes > 0 && opt.SoftBudget > opt.MaxNodes {
+			opt.SoftBudget = opt.MaxNodes
+		}
+	}
 	// Collect and return freed pages before the clock starts, in the
 	// spirit of testing.B's pre-run GC: a sweep cell must not pay GC
 	// debt or allocator state for garbage the previous cell left behind
@@ -249,7 +278,12 @@ func timeOnce(w Workload, opt core.Options, cfg Config) Measurement {
 		m.Cell = capture.cell(m.Seconds)
 		return m
 	}
-	return Measurement{Seconds: elapsed, Cell: capture.cell(elapsed)}
+	m := Measurement{Seconds: elapsed, Cell: capture.cell(elapsed)}
+	if m.Cell.Degradations > 0 {
+		m.Degraded = true
+		m.FidelityBound = m.Cell.FidelityBound
+	}
+	return m
 }
 
 // classify maps a run failure onto the measurement marks. The typed
@@ -267,6 +301,8 @@ func classify(err error, elapsed float64, cfg Config) Measurement {
 			return Measurement{Seconds: elapsed, OOM: true, Err: err}
 		case core.FailureCanceled:
 			return Measurement{Seconds: elapsed, Canceled: true, Err: err}
+		case core.FailurePressure:
+			return Measurement{Seconds: elapsed, Parked: true, Err: err}
 		}
 		return Measurement{Seconds: elapsed, Err: err}
 	}

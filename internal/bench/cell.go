@@ -38,6 +38,12 @@ type CellMetrics struct {
 	Fallbacks  int
 	StateNodes int // final state DD size
 
+	// Degradations counts the memory-pressure governor's ladder actions
+	// during the run; FidelityBound is the run's cumulative fidelity
+	// lower bound (0 for runs the governor never touched).
+	Degradations  int
+	FidelityBound float64
+
 	// Abort is the failure kind of an aborted run ("" for clean runs).
 	Abort string
 }
@@ -88,6 +94,8 @@ func (s *runEndCapture) cell(seconds float64) CellMetrics {
 		PeakNodes:       e.PeakNodes,
 		Fallbacks:       e.Fallbacks,
 		StateNodes:      e.StateNodes,
+		Degradations:    e.Degradations,
+		FidelityBound:   e.FidelityBound,
 		Abort:           e.Abort,
 	}
 }
@@ -97,7 +105,8 @@ func (s *runEndCapture) cell(seconds float64) CellMetrics {
 const metricsCSVHeader = "workload,param,seconds,mark," +
 	"matvec_muls,matmat_muls,mul_recursions,identity_skips_mv,identity_skips_mm," +
 	"cache_lookups,cache_hits,cache_hit_rate," +
-	"nodes_created,gcs,gc_pause_seconds,peak_nodes,fallbacks,state_nodes\n"
+	"nodes_created,gcs,gc_pause_seconds,peak_nodes,fallbacks,state_nodes," +
+	"degradations,fidelity_bound\n"
 
 func appendMetricsRow(sb *strings.Builder, workload, param, mark string, c CellMetrics) {
 	if !c.Valid {
@@ -107,12 +116,17 @@ func appendMetricsRow(sb *strings.Builder, workload, param, mark string, c CellM
 	if hr := c.CacheHitRate(); !math.IsNaN(hr) {
 		rate = fmt.Sprintf("%.4f", hr)
 	}
-	fmt.Fprintf(sb, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d,%s,%d,%d,%d\n",
+	bound := ""
+	if c.FidelityBound > 0 {
+		bound = fmt.Sprintf("%.6g", c.FidelityBound)
+	}
+	fmt.Fprintf(sb, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d,%s,%d,%d,%d,%d,%s\n",
 		csvEscape(workload), csvEscape(param), csvFloat(c.Seconds), mark,
 		c.MatVecMuls, c.MatMatMuls, c.MulRecursions, c.IdentitySkipsMV, c.IdentitySkipsMM,
 		c.CacheLookups, c.CacheHits, rate,
 		c.NodesCreated, c.GCs, csvFloat(c.GCPauseSeconds),
-		c.PeakNodes, c.Fallbacks, c.StateNodes)
+		c.PeakNodes, c.Fallbacks, c.StateNodes,
+		c.Degradations, bound)
 }
 
 // MetricsCSV renders the sweep's per-cell telemetry in long format —

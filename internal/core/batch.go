@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/batch"
@@ -39,6 +40,12 @@ type BatchOptions struct {
 	// in-flight workers (shared-nothing split: each concurrent job gets
 	// MaxNodes/Workers). A job whose own Options.MaxNodes is tighter
 	// keeps it. Zero means unlimited.
+	//
+	// The split is also tracked in a batch-wide ledger: when a job
+	// finishes, its unused share returns to the ledger, and a straggler
+	// whose memory-pressure governor reaches critical occupancy is
+	// granted that headroom through Options.GrowBudget instead of
+	// degrading further (jobs with their own GrowBudget keep it).
 	MaxNodes int
 	// Metrics, when set, receives the pool's per-worker instruments
 	// (batch_jobs_*_total{worker=...}, queue-wait histogram, in-flight
@@ -96,6 +103,10 @@ func RunBatch(ctx context.Context, jobs []BatchJob, opt BatchOptions) ([]BatchRe
 		events = obs.NewSyncSink(opt.Events)
 	}
 	peaks := newWorkerPeaks(opt.Metrics, workers)
+	var ledger *budgetLedger
+	if perJobBudget > 0 {
+		ledger = &budgetLedger{free: opt.MaxNodes}
+	}
 
 	pjobs := make([]batch.Job[*Result], len(jobs))
 	for i := range jobs {
@@ -107,6 +118,13 @@ func RunBatch(ctx context.Context, jobs []BatchJob, opt BatchOptions) ([]BatchRe
 			}
 			if perJobBudget > 0 && (o.MaxNodes == 0 || o.MaxNodes > perJobBudget) {
 				o.MaxNodes = perJobBudget
+			}
+			if ledger != nil {
+				lease := ledger.take(perJobBudget)
+				defer func() { ledger.release(lease.held()) }()
+				if o.GrowBudget == nil {
+					o.GrowBudget = lease.grow
+				}
 			}
 			if o.Metrics == nil {
 				o.Metrics = opt.Metrics
@@ -148,6 +166,69 @@ func RunBatch(ctx context.Context, jobs []BatchJob, opt BatchOptions) ([]BatchRe
 		}
 	}
 	return out, nil
+}
+
+// budgetLedger rebalances the batch-wide node budget: every running
+// job holds a lease on its share; finished jobs return theirs, and a
+// straggler at critical pressure may grow its lease from the freed
+// pool (Options.GrowBudget) instead of degrading further.
+type budgetLedger struct {
+	mu   sync.Mutex
+	free int // unleased budget
+}
+
+// take opens a lease on the job's initial share. The pool never admits
+// more than Workers concurrent jobs and the share is MaxNodes/Workers,
+// so free cannot go negative while every lease is honoured.
+func (l *budgetLedger) take(share int) *budgetLease {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.free -= share
+	return &budgetLease{ledger: l, amount: share}
+}
+
+// release returns a finished lease to the pool.
+func (l *budgetLedger) release(amount int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.free += amount
+}
+
+// budgetLease is one job's slice of the batch budget. grow matches the
+// Options.GrowBudget contract: called on the job's goroutine with the
+// current soft budget, it grants up to the smaller of the freed pool
+// and the current budget (so one request at most doubles the lease,
+// leaving headroom for sibling stragglers).
+type budgetLease struct {
+	ledger *budgetLedger
+	mu     sync.Mutex
+	amount int
+}
+
+func (l *budgetLease) grow(current int) int {
+	l.ledger.mu.Lock()
+	grant := l.ledger.free
+	if grant > current {
+		grant = current
+	}
+	if grant <= 0 {
+		l.ledger.mu.Unlock()
+		return current
+	}
+	l.ledger.free -= grant
+	l.ledger.mu.Unlock()
+
+	l.mu.Lock()
+	l.amount += grant
+	l.mu.Unlock()
+	return current + grant
+}
+
+// held reports the lease's current size (initial share plus grants).
+func (l *budgetLease) held() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.amount
 }
 
 // workerPeaks feeds the per-worker peak-node gauges from the run_end

@@ -239,6 +239,44 @@ type Options struct {
 	SiftGrowth   float64
 	SiftMinNodes int
 	SiftMaxSwaps int
+	// SoftBudget arms the memory-pressure governor (see governor.go and
+	// DESIGN.md §15): live-node occupancy is banded against
+	// PressureWatermarks fractions of this target, and at flush
+	// boundaries the run walks a staged degradation ladder — emergency
+	// GC, flush-and-pin-sequential, sifting, optional approximation,
+	// checkpoint-then-park — instead of running into the MaxNodes
+	// cliff. Zero disables the governor unless Degrade selects a mode
+	// (SoftBudget then defaults to MaxNodes). Must not exceed MaxNodes
+	// when both are set.
+	SoftBudget int
+	// Degrade selects the governor's ladder mode: "" (off, unless
+	// SoftBudget is set — that implies "ladder"), "off", "ladder"
+	// (exact rungs only: GC, flush+pin, sift, park), or "approx"
+	// (additionally rung 4: fidelity-bounded state approximation via
+	// dd.Engine.Approximate, with the cumulative bound recorded in
+	// Result.FidelityBound).
+	Degrade string
+	// ApproxNodes is rung 4's state-DD node target (only meaningful
+	// with Degrade "approx"). Zero selects SoftBudget/4, floored at the
+	// qubit count; explicit values below the qubit count are a
+	// ConfigError, mirroring the dd.Engine.Approximate precondition.
+	ApproxNodes int
+	// PressureWatermarks overrides the occupancy fractions at which the
+	// pressure level steps up (zero value: 70/85/95%). Must be strictly
+	// increasing within (0, 1].
+	PressureWatermarks dd.Watermarks
+	// GrowBudget, when set, is consulted at critical pressure before
+	// the governor degrades past its exact rungs: it receives the
+	// current soft budget and returns a new one (<= current means no
+	// headroom available). RunBatch wires this to a batch-wide ledger
+	// that returns finished jobs' unused budget shares to stragglers.
+	// Called on the run's goroutine.
+	GrowBudget func(current int) int
+	// OnPressure, when set, receives every Degradation the governor
+	// journals, as it happens — a lightweight pressure feed for serving
+	// layers that do not want a full event stream. Called on the run's
+	// goroutine.
+	OnPressure func(Degradation)
 }
 
 const defaultGCThreshold = 200_000
@@ -258,6 +296,10 @@ var (
 	// ErrCorruption reports that integrity verification detected state
 	// or engine corruption that could not be repaired.
 	ErrCorruption = errors.New("core: state corruption detected")
+	// ErrPressure reports that the memory-pressure governor exhausted
+	// its degradation ladder and parked the run (checkpoint written
+	// when Options.OnCheckpoint is set; see Options.SoftBudget).
+	ErrPressure = errors.New("core: simulation parked under memory pressure")
 )
 
 // FailureKind classifies a *RunError.
@@ -278,6 +320,12 @@ const (
 	// FailureCorruption: integrity verification (Options.VerifyEvery /
 	// Paranoid) detected corruption that repair could not clear.
 	FailureCorruption
+	// FailurePressure: the memory-pressure governor exhausted its
+	// degradation ladder and parked the run behind a checkpoint instead
+	// of letting it trip the hard budget. Unlike FailureBudget the
+	// state was checkpointed at a consistent boundary; retrying under a
+	// quieter budget resumes it (see Retryable).
+	FailurePressure
 )
 
 // String returns the kind's short name (also used for CLI exit-status
@@ -296,6 +344,8 @@ func (k FailureKind) String() string {
 		return "panic"
 	case FailureCorruption:
 		return "corruption"
+	case FailurePressure:
+		return "pressure"
 	}
 	return fmt.Sprintf("FailureKind(%d)", uint8(k))
 }
@@ -371,6 +421,15 @@ type Result struct {
 	// (dd.VectorInOrder / dd.IndexFromDD).
 	Order []int
 	Trace []TracePoint
+	// Degradations journals every action the memory-pressure governor
+	// took, in order (empty when the governor never engaged; see
+	// Options.SoftBudget).
+	Degradations []Degradation
+	// FidelityBound is the guaranteed lower bound on the fidelity
+	// |⟨state|exact⟩|² after governor approximations: the product of
+	// the per-cut fidelities (exact for a single cut; the standard
+	// composition estimate for several). 1 for exact runs.
+	FidelityBound float64
 }
 
 // Run simulates circuit c from |0…0> (or Options.InitialState) and
@@ -412,6 +471,9 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 	case "", "off", "static", "sifting":
 	default:
 		return nil, fmt.Errorf("core: unknown Reorder mode %q (want off, static or sifting)", opt.Reorder)
+	}
+	if err := normalizeGovernor(&opt, c.NQubits); err != nil {
+		return nil, err
 	}
 	var order []int
 	if opt.InitialOrder != nil {
@@ -476,6 +538,10 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 		order:     order,
 	}
 	r.buildPos()
+	if governorArmed(opt) {
+		r.gov = newGovernor(r)
+		eng.SetSoftBudget(opt.SoftBudget, opt.PressureWatermarks)
+	}
 	if ro != nil {
 		eng.SetObserver(ro)
 		defer func() { r.eng.SetObserver(nil) }()
@@ -493,6 +559,7 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 		r.eng.SetDeadline(time.Time{})
 		r.eng.SetBudget(0)
 		r.eng.SetContext(nil)
+		r.eng.SetSoftBudget(0, dd.Watermarks{})
 	}()
 	err := r.runRecovering()
 	if err != nil && opt.OnCheckpoint != nil {
@@ -522,6 +589,11 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 		Fallbacks:    r.fallbacks,
 		Order:        append([]int(nil), r.order...),
 	}
+	res.FidelityBound = 1
+	if r.gov != nil {
+		res.Degradations = r.gov.journal
+		res.FidelityBound = r.gov.fidelity
+	}
 	if ver != nil {
 		res.Repairs = ver.repairs
 		res.NormDrift = ver.maxDrift
@@ -532,7 +604,7 @@ func RunContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, 
 		if sz < 0 {
 			sz = r.eng.SizeV(r.v)
 		}
-		ro.finish(r.applied, sz, r.fallbacks, err)
+		ro.finish(r.applied, sz, r.fallbacks, len(res.Degradations), res.FidelityBound, err)
 	}
 	if err != nil {
 		return res, err
@@ -579,6 +651,10 @@ type runner struct {
 
 	// blockMat keeps combined block matrices alive across GC.
 	blockMats []dd.MEdge
+
+	// gov is the memory-pressure governor (nil unless armed via
+	// Options.SoftBudget/Degrade); see governor.go.
+	gov *governor
 
 	// ver is the integrity-verification state (nil unless the run asked
 	// for VerifyEvery/Paranoid); see verify.go.
@@ -642,7 +718,7 @@ func (r *runner) run() error {
 			}
 			return r.stateSz
 		}
-		if r.accValid && r.opt.Strategy.ShouldApply(r.combined, opSize, stateSize) {
+		if r.accValid && (r.govPinned() || r.opt.Strategy.ShouldApply(r.combined, opSize, stateSize)) {
 			r.notePlannerDecision()
 			if err := r.flush(r.next); err != nil {
 				if err = r.maybeRepairOnPanic(err); err != nil {
@@ -661,6 +737,12 @@ func (r *runner) run() error {
 			}
 		}
 		r.maybeGC()
+		if err := r.maybeGovern(); err != nil {
+			if err = r.maybeRepairOnPanic(err); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := r.maybeCheckpoint(); err != nil {
 			return err
 		}
@@ -988,6 +1070,10 @@ func (r *runner) runBlock(b circuit.Block) error {
 			return nil
 		}
 		r.maybeGC()
+		if err := r.maybeGovern(); err != nil {
+			popBlockMat()
+			return err
+		}
 		if err := r.maybeCheckpoint(); err != nil {
 			popBlockMat()
 			return err
@@ -1106,6 +1192,15 @@ func (r *runner) gcThreshold() int {
 	th := r.opt.GCThreshold
 	if r.opt.MaxNodes > 0 {
 		if b := r.opt.MaxNodes * 3 / 4; th < 0 || b < th {
+			th = b
+		}
+	}
+	// The soft budget clamps the same way: routine collection should
+	// keep occupancy below the pressure watermarks whenever the
+	// workload allows, so the governor only engages when GC alone no
+	// longer suffices.
+	if r.opt.SoftBudget > 0 {
+		if b := r.opt.SoftBudget * 3 / 4; th < 0 || b < th {
 			th = b
 		}
 	}

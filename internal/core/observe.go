@@ -57,6 +57,11 @@ type runMetrics struct {
 	reorders                 *obs.Counter
 	reorderSwaps             *obs.Counter
 	reorderSiftPasses        *obs.Counter
+	pressureActions          *obs.Counter
+	pressureParks            *obs.Counter
+	pressureApprox           *obs.Counter
+	pressureLevel            *obs.Gauge
+	pressureFidelity         *obs.Gauge
 	liveNodes                *obs.Gauge
 	plannerWindow            *obs.Gauge
 	reorderNodesBefore       *obs.Gauge
@@ -92,6 +97,11 @@ func newRunMetrics(r *obs.Registry) *runMetrics {
 		reorders:           r.Counter("dd_reorder_total", "Dynamic variable-reordering (sifting) passes."),
 		reorderSwaps:       r.Counter("dd_reorder_swaps_total", "Adjacent level swaps performed by dynamic reordering."),
 		reorderSiftPasses:  r.Counter("dd_reorder_sift_passes_total", "Variables sifted by dynamic reordering."),
+		pressureActions:    r.Counter("dd_pressure_actions_total", "Degradation-ladder actions taken by the memory-pressure governor."),
+		pressureParks:      r.Counter("dd_pressure_parks_total", "Runs parked behind a checkpoint by the pressure governor (rung 5)."),
+		pressureApprox:     r.Counter("dd_pressure_approx_total", "Fidelity-bounded state approximations taken under pressure (rung 4)."),
+		pressureLevel:      r.Gauge("dd_pressure_level", "Pressure band of the governor's last action (1 low, 2 high, 3 critical)."),
+		pressureFidelity:   r.Gauge("dd_pressure_fidelity_bound_ppm", "Cumulative fidelity lower bound after approximations, in parts per million."),
 		liveNodes:          r.Gauge("dd_live_nodes", "Live nodes in the unique tables (vector + matrix)."),
 		plannerWindow:      r.Gauge("dd_planner_window", "Planner target combination window after the last decision."),
 		reorderNodesBefore: r.Gauge("dd_reorder_nodes_before", "State DD size entering the last sifting pass."),
@@ -275,6 +285,46 @@ func (o *runObserver) reorderEv(gate int, sr dd.SiftResult) {
 	})
 }
 
+// pressureEv records one action of the memory-pressure governor's
+// degradation ladder.
+func (o *runObserver) pressureEv(gate int, d Degradation) {
+	if o.met != nil {
+		o.met.pressureActions.Inc()
+		o.met.pressureLevel.Set(int64(pressureLevelOrdinal(d.Level)))
+		switch d.Action {
+		case "park":
+			o.met.pressureParks.Inc()
+		case "approx":
+			o.met.pressureApprox.Inc()
+			o.met.pressureFidelity.Set(int64(d.Fidelity * 1e6))
+		}
+	}
+	o.emit(obs.Event{
+		Kind:        obs.KindPressure,
+		Gate:        gate,
+		Level:       d.Level,
+		Rung:        d.Rung,
+		Action:      d.Action,
+		NodesBefore: d.LiveBefore,
+		NodesAfter:  d.LiveAfter,
+		Fidelity:    d.Fidelity,
+	})
+}
+
+// pressureLevelOrdinal maps a level's wire name back to its ordinal
+// for the gauge (0 for unknown names).
+func pressureLevelOrdinal(level string) int {
+	switch level {
+	case "low":
+		return 1
+	case "high":
+		return 2
+	case "critical":
+		return 3
+	}
+	return 0
+}
+
 // repairEv records a corruption recovery; replayed is the number of
 // gates re-applied on the fresh engine.
 func (o *runObserver) repairEv(gate, replayed int, check string) {
@@ -296,7 +346,7 @@ func (o *runObserver) engineSwapped(old dd.Stats, fresh *dd.Engine) {
 
 // finish emits the abort event (for failed runs) and the closing
 // run_end event carrying the run totals.
-func (o *runObserver) finish(applied, stateNodes, fallbacks int, err error) {
+func (o *runObserver) finish(applied, stateNodes, fallbacks, degradations int, fidelityBound float64, err error) {
 	abort := ""
 	var re *RunError
 	if errors.As(err, &re) {
@@ -329,7 +379,19 @@ func (o *runObserver) finish(applied, stateNodes, fallbacks int, err error) {
 		Abort:           abort,
 		Swaps:           totals.ReorderSwaps,
 		SiftPasses:      totals.SiftPasses,
+		Degradations:    degradations,
+		FidelityBound:   runEndFidelity(degradations, fidelityBound),
 	})
+}
+
+// runEndFidelity keeps the run_end fidelity_bound field omitted (zero)
+// for runs the governor never touched, and meaningful — even when
+// still 1.0 — for degraded ones.
+func runEndFidelity(degradations int, bound float64) float64 {
+	if degradations == 0 && bound >= 1 {
+		return 0
+	}
+	return bound
 }
 
 // --- dd.EngineObserver ---------------------------------------------------

@@ -24,6 +24,9 @@ var ErrCheckpointWrite = errors.New("core: checkpoint write failed")
 //   - FailurePanic: a recovered engine panic with no identified cause.
 //     A deterministic panic burns the retry budget and then fails; a
 //     one-off does not kill the job.
+//   - FailurePressure: the memory-pressure governor parked the run
+//     behind a checkpoint; re-admitting it under a quieter budget (or
+//     after siblings released theirs) resumes from the park point.
 //
 // Non-retryable:
 //
@@ -49,7 +52,7 @@ func Retryable(err error) bool {
 		return false
 	}
 	switch re.Kind {
-	case FailureInjected, FailureBudget, FailurePanic:
+	case FailureInjected, FailureBudget, FailurePanic, FailurePressure:
 		return true
 	}
 	return false

@@ -291,6 +291,10 @@ func (r *runner) swapEngine(fresh *dd.Engine) {
 	fresh.SetBudget(r.opt.MaxNodes)
 	fresh.SetContext(r.ctx)
 	fresh.SetIdentitySkip(!r.opt.DisableIdentitySkip)
+	if r.gov != nil {
+		old.SetSoftBudget(0, dd.Watermarks{})
+		fresh.SetSoftBudget(r.gov.soft, r.opt.PressureWatermarks)
+	}
 	if r.obs != nil {
 		old.SetObserver(nil)
 		r.obs.engineSwapped(oldStats, fresh)

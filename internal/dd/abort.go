@@ -28,6 +28,10 @@ import (
 //   - InjectAbortAfter: fault injection for chaos tests, firing a
 //     synthetic abort at an exact probe count (gated behind the
 //     ddchaos build tag or DD_CHAOS=1).
+//
+// The memory-pressure signal (SetSoftBudget, see pressure.go) rides
+// the same probe but never aborts: it only bands occupancy into the
+// pressure Stats counters for core's degradation governor.
 
 // AbortReason classifies why an engine operation aborted.
 type AbortReason uint8
@@ -176,7 +180,8 @@ func chaosEnabled() bool {
 
 // rearm recomputes the fast-path armed flag from the abort sources.
 func (e *Engine) rearm() {
-	e.armed = !e.deadline.IsZero() || e.ctx != nil || e.budget > 0 || e.injectAt != 0
+	e.armed = !e.deadline.IsZero() || e.ctx != nil || e.budget > 0 ||
+		e.injectAt != 0 || e.softBudget > 0
 }
 
 // abortProbeMask samples the slow checks (time syscall, context poll)
@@ -200,6 +205,19 @@ func (e *Engine) abortCheck() {
 	// every probe, making enforcement exact at probe granularity.
 	if e.budget > 0 && e.vUnique.live+e.mUnique.live > e.budget {
 		e.abort(AbortBudget, ErrBudgetExceeded)
+	}
+	// The soft budget shares the probe: band occupancy against the
+	// precomputed watermarks (integer compares only — the hot path
+	// stays allocation-free) into the pressure counters. Never aborts.
+	if e.softBudget > 0 {
+		switch live := e.vUnique.live + e.mUnique.live; {
+		case live >= e.wmCrit:
+			e.stats.PressureProbesCritical++
+		case live >= e.wmHigh:
+			e.stats.PressureProbesHigh++
+		case live >= e.wmLow:
+			e.stats.PressureProbesLow++
+		}
 	}
 	if e.probes&abortProbeMask != 0 {
 		return

@@ -79,6 +79,19 @@ type Engine struct {
 	// may skip before re-reading the clock; see abortCheck.
 	deadlineSkip uint32
 
+	// Memory-pressure signal (see pressure.go). wmLow/wmHigh/wmCrit are
+	// absolute live-node thresholds precomputed from the watermark
+	// fractions so the per-probe banding is integer compares only.
+	// injectLevel is the chaos override; lastGCLive/lastGCFreed record
+	// the most recent collection for the reclaim-effectiveness signal.
+	softBudget  int
+	wmLow       int
+	wmHigh      int
+	wmCrit      int
+	injectLevel PressureLevel
+	lastGCLive  int
+	lastGCFreed int
+
 	// Bit-flip fault injection (see faults.go). flipCountdown counts
 	// down on node internings; at zero-crossing the fresh node is
 	// corrupted in place. Zero means disarmed — the hot-path guard is a
@@ -256,6 +269,14 @@ type Stats struct {
 	// probe — far fewer than probes/256 thanks to the skip cache in
 	// abortCheck; tests pin the ratio.
 	DeadlineClockReads uint64
+
+	// Pressure-probe counters: abort probes taken while live-node
+	// occupancy sat in each soft-budget watermark band (see
+	// pressure.go). How long the engine spent near its budget, at
+	// kernel-recursion resolution.
+	PressureProbesLow      uint64
+	PressureProbesHigh     uint64
+	PressureProbesCritical uint64
 
 	// ReorderSwaps counts adjacent level swaps performed by the dynamic
 	// reordering layer (see reorder.go); SiftPasses counts variables

@@ -1,0 +1,164 @@
+package dd
+
+import "fmt"
+
+// Memory-pressure signal. A soft budget armed via SetSoftBudget bands
+// live-node occupancy against three watermarks (fractions of the soft
+// budget); the banding runs on the same probe the abort layer uses, as
+// integer compares only, so the kernel hot path stays allocation-free.
+// Unlike the hard budget (SetBudget) the soft budget never aborts —
+// crossing a watermark merely raises the level reported by Pressure(),
+// which core's governor consults at flush boundaries to walk its
+// staged degradation ladder instead of running into the budget cliff.
+
+// PressureLevel classifies live-node occupancy against the soft
+// budget's watermarks.
+type PressureLevel uint8
+
+const (
+	// PressureNone: occupancy below the low watermark (or no soft
+	// budget armed).
+	PressureNone PressureLevel = iota
+	// PressureLow: occupancy at or above the low watermark (~70%) —
+	// reclaim garbage early, before the cliff is in sight.
+	PressureLow
+	// PressureHigh: occupancy at or above the high watermark (~85%) —
+	// stop accumulating, shrink the working set.
+	PressureHigh
+	// PressureCritical: occupancy at or above the critical watermark
+	// (~95%) — the next large operation is likely to trip the hard
+	// budget.
+	PressureCritical
+)
+
+// String returns the level's short name.
+func (l PressureLevel) String() string {
+	switch l {
+	case PressureNone:
+		return "none"
+	case PressureLow:
+		return "low"
+	case PressureHigh:
+		return "high"
+	case PressureCritical:
+		return "critical"
+	}
+	return fmt.Sprintf("PressureLevel(%d)", uint8(l))
+}
+
+// Watermarks are the occupancy fractions of the soft budget at which
+// the pressure level steps up. The zero value selects the defaults.
+type Watermarks struct {
+	Low      float64
+	High     float64
+	Critical float64
+}
+
+// DefaultWatermarks returns the standard 70/85/95% banding.
+func DefaultWatermarks() Watermarks {
+	return Watermarks{Low: 0.70, High: 0.85, Critical: 0.95}
+}
+
+// Valid reports whether the watermarks are strictly increasing within
+// (0, 1]. The zero value is also valid (it means "defaults").
+func (w Watermarks) Valid() bool {
+	if w == (Watermarks{}) {
+		return true
+	}
+	return w.Low > 0 && w.Low < w.High && w.High < w.Critical && w.Critical <= 1
+}
+
+// SetSoftBudget arms the pressure signal against a live-node target.
+// The watermark fractions (zero value: DefaultWatermarks) are
+// precomputed into absolute node counts so the per-probe banding costs
+// integer compares only. maxNodes <= 0 disarms the signal. Invalid
+// watermarks fall back to the defaults — callers wanting an error
+// should validate via Watermarks.Valid first (core does, with a typed
+// ConfigError).
+func (e *Engine) SetSoftBudget(maxNodes int, w Watermarks) {
+	if maxNodes <= 0 {
+		e.softBudget, e.wmLow, e.wmHigh, e.wmCrit = 0, 0, 0, 0
+		e.rearm()
+		return
+	}
+	if w == (Watermarks{}) || !w.Valid() {
+		w = DefaultWatermarks()
+	}
+	e.softBudget = maxNodes
+	e.wmLow = wmNodes(w.Low, maxNodes)
+	e.wmHigh = wmNodes(w.High, maxNodes)
+	e.wmCrit = wmNodes(w.Critical, maxNodes)
+	e.rearm()
+}
+
+// wmNodes converts a watermark fraction to an absolute threshold,
+// clamped to at least one node so an armed signal can always fire.
+func wmNodes(frac float64, budget int) int {
+	n := int(frac * float64(budget))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SoftBudget returns the armed soft budget (0 when disarmed).
+func (e *Engine) SoftBudget() int { return e.softBudget }
+
+// PressureInfo is an O(1) snapshot of the memory-pressure signal.
+type PressureInfo struct {
+	// Level is the occupancy band (the chaos override from
+	// InjectPressure is folded in).
+	Level PressureLevel
+	// Live is the combined live-node occupancy of both unique tables —
+	// the quantity banded against the watermarks.
+	Live int
+	// Budget is the armed soft budget (0 when disarmed).
+	Budget int
+	// Occupancy is Live/Budget (0 when disarmed). May exceed 1.
+	Occupancy float64
+	// ReclaimRatio is freed/live-before of the most recent
+	// GarbageCollect — how effective collection still is. 0 before the
+	// first collection; a ratio near 0 after one means the live set
+	// itself is what fills the budget and further GC cannot help.
+	ReclaimRatio float64
+}
+
+// Pressure snapshots the signal. O(1): the occupancy is two field
+// reads and the reclaim ratio was recorded by the last collection.
+func (e *Engine) Pressure() PressureInfo {
+	live := e.vUnique.live + e.mUnique.live
+	info := PressureInfo{Live: live, Budget: e.softBudget}
+	if e.softBudget > 0 {
+		info.Occupancy = float64(live) / float64(e.softBudget)
+		switch {
+		case live >= e.wmCrit:
+			info.Level = PressureCritical
+		case live >= e.wmHigh:
+			info.Level = PressureHigh
+		case live >= e.wmLow:
+			info.Level = PressureLow
+		}
+	}
+	if e.injectLevel > info.Level {
+		info.Level = e.injectLevel
+	}
+	if e.lastGCLive > 0 {
+		info.ReclaimRatio = float64(e.lastGCFreed) / float64(e.lastGCLive)
+	}
+	return info
+}
+
+// InjectPressure overrides the reported pressure level for chaos
+// tests: Pressure() returns at least the injected level until it is
+// cleared with PressureNone. Because an injected level never subsides,
+// one governor look walks every ladder rung the level unlocks, making
+// each rung deterministically forceable in CI. Gated like the other
+// fault hooks (ddchaos build tag or DD_CHAOS=1); reports whether it
+// armed.
+func (e *Engine) InjectPressure(l PressureLevel) bool {
+	if !chaosEnabled() {
+		return false
+	}
+	e.injectLevel = l
+	return true
+}

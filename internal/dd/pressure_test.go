@@ -1,0 +1,193 @@
+package dd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPressureDisarmed: a fresh engine reports no pressure and a zero
+// budget, regardless of how many nodes are live.
+func TestPressureDisarmed(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(1))
+	_ = e.FromVector(randState(rng, 10))
+	p := e.Pressure()
+	if p.Level != PressureNone || p.Budget != 0 || p.Occupancy != 0 {
+		t.Fatalf("disarmed engine reports pressure: %+v", p)
+	}
+	if e.SoftBudget() != 0 {
+		t.Fatalf("SoftBudget() = %d on a fresh engine", e.SoftBudget())
+	}
+}
+
+// TestPressureWatermarkBands drives one live set through the default
+// 70/85/95% bands by re-arming the soft budget around it.
+func TestPressureWatermarkBands(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(2))
+	v := e.FromVector(randState(rng, 10))
+	e.GarbageCollect([]VEdge{v}, nil)
+	live := e.VNodeCount() + e.MNodeCount()
+	if live < 40 {
+		t.Fatalf("need a non-trivial live set, got %d nodes", live)
+	}
+	cases := []struct {
+		name   string
+		budget int
+		want   PressureLevel
+	}{
+		{"half", live * 2, PressureNone},             // occupancy 0.50
+		{"threequarters", live * 4 / 3, PressureLow}, // occupancy 0.75
+		{"ninety", live * 10 / 9, PressureHigh},      // occupancy 0.90
+		{"full", live, PressureCritical},             // occupancy 1.00
+	}
+	for _, tc := range cases {
+		e.SetSoftBudget(tc.budget, Watermarks{})
+		p := e.Pressure()
+		if p.Level != tc.want {
+			t.Errorf("%s: budget %d live %d: level %v, want %v",
+				tc.name, tc.budget, p.Live, p.Level, tc.want)
+		}
+		if p.Live != live || p.Budget != tc.budget {
+			t.Errorf("%s: snapshot live/budget %d/%d, want %d/%d",
+				tc.name, p.Live, p.Budget, live, tc.budget)
+		}
+	}
+	e.SetSoftBudget(0, Watermarks{})
+	if p := e.Pressure(); p.Level != PressureNone || p.Budget != 0 {
+		t.Fatalf("disarm did not clear the signal: %+v", p)
+	}
+}
+
+// TestWatermarksValid pins the validation rule: zero value means
+// defaults; otherwise strictly increasing within (0, 1].
+func TestWatermarksValid(t *testing.T) {
+	cases := []struct {
+		w  Watermarks
+		ok bool
+	}{
+		{Watermarks{}, true},
+		{DefaultWatermarks(), true},
+		{Watermarks{Low: 0.5, High: 0.6, Critical: 0.7}, true},
+		{Watermarks{Low: 0.9, High: 0.6, Critical: 0.7}, false}, // not increasing
+		{Watermarks{Low: 0.5, High: 0.5, Critical: 0.7}, false}, // not strict
+		{Watermarks{Low: 0, High: 0.6, Critical: 0.7}, false},   // low unset
+		{Watermarks{Low: 0.5, High: 0.6, Critical: 1.2}, false}, // above 1
+	}
+	for _, tc := range cases {
+		if got := tc.w.Valid(); got != tc.ok {
+			t.Errorf("Valid(%+v) = %v, want %v", tc.w, got, tc.ok)
+		}
+	}
+}
+
+// TestInvalidWatermarksFallBack: arming with invalid fractions selects
+// the defaults rather than banding nonsense.
+func TestInvalidWatermarksFallBack(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(3))
+	v := e.FromVector(randState(rng, 10))
+	e.GarbageCollect([]VEdge{v}, nil)
+	live := e.VNodeCount() + e.MNodeCount()
+	e.SetSoftBudget(live*2, Watermarks{Low: 2, High: 1, Critical: 0})
+	if p := e.Pressure(); p.Level != PressureNone {
+		t.Fatalf("occupancy 0.5 under default fallback should be none, got %v", p.Level)
+	}
+	e.SetSoftBudget(live, Watermarks{Low: 2, High: 1, Critical: 0})
+	if p := e.Pressure(); p.Level != PressureCritical {
+		t.Fatalf("occupancy 1.0 under default fallback should be critical, got %v", p.Level)
+	}
+}
+
+// TestPressureProbeCounters: with a soft budget armed below the live
+// set, kernel work ticks the banded probe counters — the signal rides
+// the existing abort probe, so these counters also prove the probe path
+// sees the soft budget at all.
+func TestPressureProbeCounters(t *testing.T) {
+	e := New()
+	const n = 10
+	rng := rand.New(rand.NewSource(4))
+	v := e.FromVector(randState(rng, n))
+	e.SetSoftBudget(1, Watermarks{}) // any live node is critical occupancy
+	g := e.GateDD(randUnitary(rng), n, 3, nil)
+	v = e.MulVec(g, v)
+	_ = v
+	st := e.Stats()
+	if st.PressureProbesCritical == 0 {
+		t.Fatalf("no critical pressure probes recorded: %+v", st)
+	}
+}
+
+// TestInjectPressure: the chaos override arms only under DD_CHAOS and
+// then floors the reported level, with or without a soft budget.
+func TestInjectPressure(t *testing.T) {
+	e := New()
+	if e.InjectPressure(PressureCritical) {
+		t.Skip("built with the ddchaos tag; the no-chaos half does not apply")
+	}
+	t.Setenv("DD_CHAOS", "1")
+	if !e.InjectPressure(PressureHigh) {
+		t.Fatal("InjectPressure refused under DD_CHAOS=1")
+	}
+	if p := e.Pressure(); p.Level != PressureHigh {
+		t.Fatalf("injected high, Pressure() = %v", p.Level)
+	}
+	// A real signal above the injection wins (max, not override).
+	rng := rand.New(rand.NewSource(5))
+	v := e.FromVector(randState(rng, 10))
+	e.GarbageCollect([]VEdge{v}, nil)
+	e.SetSoftBudget(e.VNodeCount()+e.MNodeCount(), Watermarks{})
+	if p := e.Pressure(); p.Level != PressureCritical {
+		t.Fatalf("occupancy 1.0 with injected high should read critical, got %v", p.Level)
+	}
+	e.SetSoftBudget(0, Watermarks{})
+	e.InjectPressure(PressureNone)
+	if p := e.Pressure(); p.Level != PressureNone {
+		t.Fatalf("cleared injection still reports %v", p.Level)
+	}
+}
+
+// TestPressureReclaimRatio: after a collection that frees garbage, the
+// snapshot reports how much of the pre-GC live set it reclaimed.
+func TestPressureReclaimRatio(t *testing.T) {
+	e := New()
+	rng := rand.New(rand.NewSource(6))
+	keep := e.FromVector(randState(rng, 10))
+	for i := 0; i < 8; i++ {
+		_ = e.FromVector(randState(rng, 10)) // garbage
+	}
+	e.GarbageCollect([]VEdge{keep}, nil)
+	p := e.Pressure()
+	if p.ReclaimRatio <= 0 || p.ReclaimRatio > 1 {
+		t.Fatalf("reclaim ratio %v out of (0,1] after collecting garbage", p.ReclaimRatio)
+	}
+}
+
+// BenchmarkMulVecSoftBudget is BenchmarkMulVec with the pressure signal
+// armed, so every abort probe also runs the watermark banding. CI greps
+// this benchmark for 0 allocs/op: the banding is integer compares only
+// and must not cost the hot path its allocation-free property.
+func BenchmarkMulVecSoftBudget(b *testing.B) {
+	e := New()
+	e.SetSoftBudget(200_000, Watermarks{})
+	const n = 12
+	rng := rand.New(rand.NewSource(42))
+	gates := make([]MEdge, 64)
+	for i := range gates {
+		tgt := rng.Intn(n)
+		var controls []Control
+		if c := rng.Intn(n); c != tgt {
+			controls = append(controls, Control{Qubit: c, Negative: rng.Intn(2) == 0})
+		}
+		gates[i] = e.GateDD(randUnitary(rng), n, tgt, controls)
+	}
+	v := e.ZeroState(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v = e.MulVec(gates[i&63], v)
+		if e.VNodeCount()+e.MNodeCount() > 150_000 {
+			e.GarbageCollect([]VEdge{v}, gates)
+		}
+	}
+}

@@ -65,6 +65,14 @@ const (
 	// variables sifted, and Event.NodesBefore/NodesAfter the state DD
 	// size around the pass.
 	KindReorder
+	// KindPressure is one action of the memory-pressure governor's
+	// degradation ladder: Event.Level is the pressure band ("low",
+	// "high", "critical"), Event.Rung the ladder rung taken (1–5, 0 for
+	// a budget grow), Event.Action what was done ("gc", "flush",
+	// "sift", "approx", "grow", "park"), Event.NodesBefore/NodesAfter
+	// the live-node counts around the action, and Event.Fidelity the
+	// fidelity bound of an approximation rung.
+	KindPressure
 )
 
 var kindNames = [...]string{
@@ -79,6 +87,7 @@ var kindNames = [...]string{
 	KindRepair:     "repair",
 	KindPlanner:    "planner",
 	KindReorder:    "reorder",
+	KindPressure:   "pressure",
 }
 
 // String returns the kind's wire name.
@@ -190,11 +199,25 @@ type Event struct {
 	Window   int    `json:"window,omitempty"`
 
 	// Dynamic reordering telemetry (KindReorder; Swaps and SiftPasses
-	// are also run totals on KindRunEnd).
+	// are also run totals on KindRunEnd). NodesBefore/NodesAfter double
+	// as the live-node counts around a KindPressure action.
 	Swaps       uint64 `json:"swaps,omitempty"`
 	SiftPasses  uint64 `json:"sift_passes,omitempty"`
 	NodesBefore int    `json:"nodes_before,omitempty"`
 	NodesAfter  int    `json:"nodes_after,omitempty"`
+
+	// Pressure-governor telemetry (KindPressure; see core's degradation
+	// ladder). Level is the pressure band, Rung the ladder rung, Action
+	// the measure taken, Fidelity the bound of an approximation rung.
+	// Degradations and FidelityBound are run totals (KindRunEnd): the
+	// number of ladder actions taken and the cumulative fidelity lower
+	// bound (omitted when the run stayed exact).
+	Level         string  `json:"level,omitempty"`
+	Rung          int     `json:"rung,omitempty"`
+	Action        string  `json:"action,omitempty"`
+	Fidelity      float64 `json:"fidelity,omitempty"`
+	Degradations  int     `json:"degradations,omitempty"`
+	FidelityBound float64 `json:"fidelity_bound,omitempty"`
 }
 
 // Time returns the emission time as a time.Time.

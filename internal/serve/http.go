@@ -24,13 +24,14 @@ const StatusClientClosedRequest = 499
 //	GET    /v1/jobs/{id}/result  terminal outcome (summary or mapped error)
 //	DELETE /v1/jobs/{id}     cancel
 //	GET    /healthz          liveness (always 200 while the process serves)
-//	GET    /readyz           readiness (503 once draining)
+//	GET    /readyz           readiness (503 once draining or under pressure)
 //	GET    /metrics          Prometheus text format
 //
 // Failure kinds map onto statuses the way ddsim maps them onto exit
-// codes: deadline→504, budget→507, canceled→499, corruption and the
-// rest→500. Load shedding answers 429 with Retry-After; drain and open
-// circuit breakers answer 503 with Retry-After.
+// codes: deadline→504, budget and pressure→507, canceled→499,
+// corruption and the rest→500. Load shedding answers 429 with
+// Retry-After; drain, open circuit breakers and sustained memory
+// pressure answer 503 with Retry-After.
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -66,6 +67,11 @@ func Handler(s *Server) http.Handler {
 		if !s.Ready() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			io.WriteString(w, "draining\n")
+			return
+		}
+		if s.Pressured() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "pressure\n")
 			return
 		}
 		w.WriteHeader(http.StatusOK)
@@ -128,7 +134,7 @@ func statusForKind(kind string) int {
 	switch kind {
 	case "deadline":
 		return http.StatusGatewayTimeout // 504
-	case "budget":
+	case "budget", "pressure":
 		return http.StatusInsufficientStorage // 507
 	case "canceled":
 		return StatusClientClosedRequest // 499

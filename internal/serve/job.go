@@ -63,6 +63,18 @@ type JobSpec struct {
 	// TimeoutMS optionally bounds the job's wall-clock run time per
 	// attempt, in milliseconds.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// SoftBudget arms the memory-pressure governor at this live-node
+	// target (see core.Options.SoftBudget): the run degrades in stages
+	// near the target instead of aborting at the hard budget. Clamped
+	// to the job's effective hard budget.
+	SoftBudget int `json:"soft_budget,omitempty"`
+	// Degrade selects the governor mode: "" / "off", "ladder"
+	// (exact-preserving measures only), or "approx" (opt-in
+	// fidelity-bounded truncation; the summary reports the bound).
+	Degrade string `json:"degrade,omitempty"`
+	// ApproxNodes is the approximation rung's state-size target; only
+	// meaningful with Degrade "approx" (default soft budget / 4).
+	ApproxNodes int `json:"approx_nodes,omitempty"`
 }
 
 // Caps bounds what DecodeJobRequest accepts; zero fields select
@@ -154,6 +166,20 @@ func DecodeJobRequest(body []byte, caps Caps) (*JobSpec, *circuit.Circuit, error
 	if spec.TimeoutMS < 0 {
 		return nil, nil, reqErr(400, "timeout_ms must be >= 0")
 	}
+	if spec.SoftBudget < 0 {
+		return nil, nil, reqErr(400, "soft_budget must be >= 0")
+	}
+	switch spec.Degrade {
+	case "", "off", "ladder", "approx":
+	default:
+		return nil, nil, reqErr(400, "degrade %q: want off, ladder or approx", spec.Degrade)
+	}
+	if spec.ApproxNodes < 0 {
+		return nil, nil, reqErr(400, "approx_nodes must be >= 0")
+	}
+	if spec.ApproxNodes > 0 && spec.Degrade != "approx" {
+		return nil, nil, reqErr(400, `approx_nodes is only meaningful with degrade "approx"`)
+	}
 	if _, err := StrategyFor(&spec); err != nil {
 		return nil, nil, reqErr(400, "%v", err)
 	}
@@ -188,6 +214,10 @@ func DecodeJobRequest(body []byte, caps Caps) (*JobSpec, *circuit.Circuit, error
 	}
 	if len(circ.Gates) > caps.MaxGates {
 		return nil, nil, reqErr(400, "circuit has %d gates; limit %d", len(circ.Gates), caps.MaxGates)
+	}
+	if spec.ApproxNodes > 0 && spec.ApproxNodes < circ.NQubits {
+		return nil, nil, reqErr(400, "approx_nodes %d below qubit count %d (a state DD cannot be smaller)",
+			spec.ApproxNodes, circ.NQubits)
 	}
 	return &spec, circ, nil
 }
@@ -282,14 +312,20 @@ func (s JobState) valid() bool {
 
 // JobSummary describes a completed run.
 type JobSummary struct {
-	DurationMS  int64          `json:"duration_ms"`
-	MatVecSteps int            `json:"matvec_steps"`
-	MatMatSteps int            `json:"matmat_steps"`
-	Fallbacks   int            `json:"fallbacks,omitempty"`
-	Repairs     int            `json:"repairs,omitempty"`
-	StateNodes  int            `json:"state_nodes"`
-	Norm        float64        `json:"norm"`
-	Samples     map[string]int `json:"samples,omitempty"`
+	DurationMS  int64   `json:"duration_ms"`
+	MatVecSteps int     `json:"matvec_steps"`
+	MatMatSteps int     `json:"matmat_steps"`
+	Fallbacks   int     `json:"fallbacks,omitempty"`
+	Repairs     int     `json:"repairs,omitempty"`
+	StateNodes  int     `json:"state_nodes"`
+	Norm        float64 `json:"norm"`
+	// Degradations counts the memory-pressure governor's ladder
+	// actions during the run (0 for an ungoverned or untroubled run).
+	Degradations int `json:"degradations,omitempty"`
+	// FidelityBound is the run's cumulative fidelity lower bound; set
+	// only when approximation lowered it below 1.
+	FidelityBound float64        `json:"fidelity_bound,omitempty"`
+	Samples       map[string]int `json:"samples,omitempty"`
 }
 
 // JobStatus is a job's current lifecycle record — the unit the journal

@@ -26,6 +26,8 @@ type serveMetrics struct {
 	jobsFailed     *obs.Counter
 	retries        *obs.Counter
 	recovered      *obs.Counter
+	pressureEvents *obs.Counter
+	pressureParks  *obs.Counter
 	jobSeconds     *obs.Histogram
 }
 
@@ -48,6 +50,10 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 			"Backoff retries scheduled after retryable failures."),
 		recovered: reg.Counter("serve_jobs_recovered_total",
 			"Non-terminal jobs re-admitted from the journal at startup."),
+		pressureEvents: reg.Counter("serve_pressure_events_total",
+			"Governor degradations at high or critical level reported by running jobs."),
+		pressureParks: reg.Counter("serve_pressure_parks_total",
+			"Jobs parked under memory pressure (own governor or server-chosen victim)."),
 		jobSeconds: reg.Histogram("serve_job_seconds",
 			"Wall-clock duration of successful job runs.",
 			obs.ExponentialBuckets(0.001, 4, 10)),

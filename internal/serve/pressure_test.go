@@ -1,0 +1,270 @@
+// Tests for the server's memory-pressure behaviour: load shedding on
+// sustained governor pressure (readyz + submit 503), parking the
+// lowest-priority running job at critical pressure, spec-level
+// validation of the governor knobs, and the checkpoint-write-failure
+// path during a pressure park (the job must not be lost).
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dd"
+	"repro/internal/serve/retry"
+)
+
+// TestServePressureShedsSubmissions: once some running job has been at
+// high pressure for the configured window, /readyz answers 503 and
+// submissions are refused with Retry-After; when the pressure clears,
+// admission resumes.
+func TestServePressureShedsSubmissions(t *testing.T) {
+	cfg := testConfig(t.TempDir())
+	cfg.PressureWindow = time.Millisecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	// Healthy: ready, and submissions are accepted.
+	rr, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("readyz while healthy = %d, want 200", rr.StatusCode)
+	}
+
+	// A running job reports sustained high pressure.
+	s.notePressure("j-load", core.Degradation{Rung: 2, Action: "flush", Level: "high"})
+	time.Sleep(10 * time.Millisecond)
+	if !s.Pressured() {
+		t.Fatal("sustained high pressure not reflected in Pressured()")
+	}
+
+	rr, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz under pressure = %d, want 503", rr.StatusCode)
+	}
+
+	spec := `{"circuit":` + jsonStr(testCircuit(4, 8)) + `}`
+	resp, _ := submitJSON(t, ts, spec)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit under pressure = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("pressure 503 without Retry-After")
+	}
+
+	// The governor's measures worked: the job drops below high and
+	// admission resumes.
+	s.notePressure("j-load", core.Degradation{Rung: 1, Action: "gc", Level: "low"})
+	if s.Pressured() {
+		t.Fatal("cleared pressure still sheds")
+	}
+	resp, st := submitJSON(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after recovery = %d, want 202", resp.StatusCode)
+	}
+	waitTerminal(t, s, st.ID, 30*time.Second)
+}
+
+// TestServePressureParksLowestPriorityVictim: at critical pressure the
+// server parks the most parkable running job (lowest priority class)
+// rather than letting the pressured one hit its cliff. The victim ends
+// up StateParked with a durable checkpoint; the high-priority job runs
+// to completion.
+func TestServePressureParksLowestPriorityVictim(t *testing.T) {
+	dir := t.TempDir()
+	s, hits, release := stalledServer(t, dir, func(c *Config) {
+		c.Workers = 2
+		c.CheckpointEvery = 8
+		// A long backoff keeps the parked state observable.
+		c.Retry = retry.Policy{Base: time.Hour, Max: time.Hour, Jitter: 0, Attempts: 3}
+	})
+	released := false
+	releaseOnce := func() {
+		if !released {
+			released = true
+			close(release)
+		}
+	}
+	defer func() {
+		releaseOnce()
+		s.Kill()
+	}()
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	_, stLow := submitJSON(t, ts,
+		`{"circuit":`+jsonStr(testCircuit(8, 400))+`,"priority":"low"}`)
+	_, stHigh := submitJSON(t, ts,
+		`{"circuit":`+jsonStr(testCircuit(8, 400))+`,"priority":"high"}`)
+
+	// Both jobs are running and frozen in their first checkpoint.
+	seen := map[string]bool{}
+	for len(seen) < 2 {
+		seen[<-hits] = true
+	}
+	if !seen[stLow.ID] || !seen[stHigh.ID] {
+		t.Fatalf("checkpoints from %v, want both %s and %s", seen, stLow.ID, stHigh.ID)
+	}
+
+	// The high-priority job's governor reports critical pressure.
+	s.notePressure(stHigh.ID, core.Degradation{Rung: 1, Action: "gc", Level: "critical"})
+	releaseOnce() // unfreeze both jobs; later checkpoints pass through
+
+	final := waitTerminal(t, s, stHigh.ID, 30*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("high-priority job = %+v, want done", final)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, ok := s.Status(stLow.ID)
+		if !ok {
+			t.Fatalf("victim %s vanished", stLow.ID)
+		}
+		if got.State == StateParked {
+			if !got.Retryable {
+				t.Fatalf("parked victim not retryable: %+v", got)
+			}
+			if got.Gate == 0 {
+				t.Fatalf("parked victim has no checkpoint progress: %+v", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim still %s, want parked", got.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A restart against the same journal resumes the parked victim.
+	s2, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Kill()
+	if got := waitTerminal(t, s2, stLow.ID, 30*time.Second); got.State != StateDone {
+		t.Fatalf("victim after restart = %+v, want done", got)
+	}
+}
+
+// TestDecodeJobRequestGovernorKnobs pins the spec-level validation of
+// the governor fields.
+func TestDecodeJobRequestGovernorKnobs(t *testing.T) {
+	caps := Caps{MaxQubits: 8, MaxGates: 100, MaxShots: 1000}
+	circ := `{"circuit":"qubits 2\nh 0\ncx 0 1\n"`
+	cases := []struct {
+		name    string
+		body    string
+		wantErr int // 0 = success
+	}{
+		{"soft budget ok", circ + `,"soft_budget":100000}`, 0},
+		{"ladder ok", circ + `,"soft_budget":100000,"degrade":"ladder"}`, 0},
+		{"approx ok", circ + `,"degrade":"approx","approx_nodes":16}`, 0},
+		{"off ok", circ + `,"degrade":"off"}`, 0},
+		{"negative soft budget", circ + `,"soft_budget":-1}`, 400},
+		{"unknown degrade mode", circ + `,"degrade":"gently"}`, 400},
+		{"negative approx nodes", circ + `,"degrade":"approx","approx_nodes":-2}`, 400},
+		{"approx nodes without approx", circ + `,"approx_nodes":16}`, 400},
+		{"approx nodes in ladder mode", circ + `,"degrade":"ladder","approx_nodes":16}`, 400},
+		{"approx floor below qubits", circ + `,"degrade":"approx","approx_nodes":1}`, 400},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := DecodeJobRequest([]byte(c.body), caps)
+			if c.wantErr == 0 {
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				return
+			}
+			re, ok := err.(*RequestError)
+			if !ok {
+				t.Fatalf("decode = %v, want *RequestError(%d)", err, c.wantErr)
+			}
+			if re.Status != c.wantErr {
+				t.Fatalf("status = %d (%s), want %d", re.Status, re.Msg, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestServePressureParkCheckpointFailure: when the park checkpoint
+// cannot be written (the checkpoint path is unwritable), the job is
+// still parked — not lost — and the next attempt restarts from its
+// last durable state and completes. The journal stays consistent
+// throughout.
+func TestServePressureParkCheckpointFailure(t *testing.T) {
+	t.Setenv("DD_CHAOS", "1")
+	dir := t.TempDir()
+	cfg := testConfig(dir)
+	cfg.Workers = 1
+	cfg.Retry = retry.Policy{Base: time.Millisecond, Max: 5 * time.Millisecond, Jitter: 0, Attempts: 3}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Kill()
+
+	// Poison the first job's checkpoint path: a directory where the
+	// checkpoint file must go makes every checkpoint write fail.
+	const id = "j00000001"
+	if err := os.MkdirAll(filepath.Join(dir, "jobs", id, "ckpt.bin"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first attempt walks the ladder to a park under injected
+	// critical pressure and fails its park-checkpoint write; later
+	// attempts run clean against a healed checkpoint path.
+	s.armEngine = func(_ string, attempt int, eng *dd.Engine) {
+		if attempt == 1 {
+			if !eng.InjectPressure(dd.PressureCritical) {
+				t.Error("chaos injection refused under DD_CHAOS=1")
+			}
+			return
+		}
+		if err := os.RemoveAll(filepath.Join(dir, "jobs", id, "ckpt.bin")); err != nil {
+			t.Errorf("heal checkpoint path: %v", err)
+		}
+	}
+
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+	resp, st := submitJSON(t, ts,
+		`{"circuit":`+jsonStr(testCircuit(6, 60))+`,"degrade":"ladder","soft_budget":100000}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	if st.ID != id {
+		t.Fatalf("first job id = %s, want %s (checkpoint poisoning missed)", st.ID, id)
+	}
+
+	final := waitTerminal(t, s, st.ID, 30*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("job = %+v, want done after the retry", final)
+	}
+	if final.Attempt < 2 {
+		t.Fatalf("job finished on attempt %d, want a park + retry", final.Attempt)
+	}
+
+	// The journal can be reloaded cleanly — nothing was quarantined.
+	s2, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatalf("journal inconsistent after park with failed checkpoint: %v", err)
+	}
+	s2.Kill()
+}

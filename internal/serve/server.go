@@ -42,6 +42,12 @@ type Config struct {
 	// retry.Policy for the defaults: 100ms base, ×2, 30s cap, half
 	// jitter, 4 attempts).
 	Retry retry.Policy
+	// PressureWindow is how long a running job must stay at high (or
+	// worse) governor pressure before the server sheds load: /readyz
+	// flips to 503 and submissions are refused with Retry-After
+	// (default 2s; negative disables shedding). Critical pressure also
+	// parks the lowest-priority running job regardless of the window.
+	PressureWindow time.Duration
 	// PerClientActive caps one client's non-terminal jobs
 	// (default Queue/4, minimum 1; negative disables the quota).
 	PerClientActive int
@@ -86,6 +92,12 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 30 * time.Second
 	}
+	switch {
+	case c.PressureWindow == 0:
+		c.PressureWindow = 2 * time.Second
+	case c.PressureWindow < 0:
+		c.PressureWindow = 0
+	}
 	c.Caps = c.Caps.withDefaults()
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -109,6 +121,7 @@ type Server struct {
 	order    []string
 	clients  map[string]*clientState
 	timers   map[string]*time.Timer
+	pressure map[string]pressureSample
 	rng      *rand.Rand
 	nextID   int
 	draining bool
@@ -133,6 +146,19 @@ type job struct {
 	// cancel interrupts the running attempt (nil while not running).
 	cancel          context.CancelFunc
 	cancelRequested bool
+	// parkRequested marks a running job the server chose to park under
+	// memory pressure: its context is cancelled, and the resulting
+	// ErrCanceled is recorded as a parked (resumable) state, not a
+	// failure.
+	parkRequested bool
+}
+
+// pressureSample tracks one running job's governor pressure: the worst
+// level its degradations have reported and since when the job has been
+// at high or worse — the signal behind load shedding.
+type pressureSample struct {
+	level dd.PressureLevel
+	since time.Time
 }
 
 type clientState struct {
@@ -150,13 +176,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		jn:      jn,
-		met:     newServeMetrics(cfg.Registry),
-		jobs:    make(map[string]*job),
-		clients: make(map[string]*clientState),
-		timers:  make(map[string]*time.Timer),
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		cfg:      cfg,
+		jn:       jn,
+		met:      newServeMetrics(cfg.Registry),
+		jobs:     make(map[string]*job),
+		clients:  make(map[string]*clientState),
+		timers:   make(map[string]*time.Timer),
+		pressure: make(map[string]pressureSample),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	s.pool = batch.NewPool(batch.PoolOptions{
 		Workers: cfg.Workers,
@@ -269,6 +296,15 @@ func (s *Server) Submit(spec *JobSpec, circ *circuit.Circuit) (*JobStatus, error
 		s.mu.Unlock()
 		s.met.rejected("draining")
 		return nil, &RequestError{Status: 503, Msg: "server is draining", RetryAfter: 10 * time.Second}
+	}
+	if s.pressuredLocked(now) {
+		s.mu.Unlock()
+		s.met.rejected("pressure")
+		return nil, &RequestError{
+			Status:     503,
+			Msg:        "server is under sustained memory pressure",
+			RetryAfter: s.cfg.PressureWindow,
+		}
 	}
 	client := clientKey(spec.Client)
 	cs := s.clientLocked(client)
@@ -405,6 +441,115 @@ func (s *Server) Ready() bool {
 	return !s.draining && !s.killed
 }
 
+// Pressured reports whether some running job has been at high (or
+// worse) governor pressure for at least Config.PressureWindow — the
+// condition under which /readyz answers 503 and Submit sheds.
+func (s *Server) Pressured() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pressuredLocked(time.Now())
+}
+
+// pressuredLocked is Pressured's body; the caller holds s.mu.
+func (s *Server) pressuredLocked(now time.Time) bool {
+	if s.cfg.PressureWindow <= 0 {
+		return false
+	}
+	for _, ps := range s.pressure {
+		if ps.level >= dd.PressureHigh && now.Sub(ps.since) >= s.cfg.PressureWindow {
+			return true
+		}
+	}
+	return false
+}
+
+// notePressure ingests one governor degradation from a running job
+// (core.Options.OnPressure, called on the job's worker goroutine). It
+// feeds the shedding signal, and at critical level parks the
+// lowest-priority running job so the box sheds live nodes before any
+// job hits its cliff.
+func (s *Server) notePressure(id string, d core.Degradation) {
+	lvl := pressureLevelFor(d.Level)
+	now := time.Now()
+	s.mu.Lock()
+	if lvl >= dd.PressureHigh {
+		ps, tracked := s.pressure[id]
+		if !tracked {
+			ps = pressureSample{since: now}
+		}
+		ps.level = lvl
+		s.pressure[id] = ps
+		s.met.pressureEvents.Inc()
+	} else {
+		// The governor's measures worked; the job is back below high.
+		delete(s.pressure, id)
+	}
+	var victim *job
+	if lvl >= dd.PressureCritical && !s.draining {
+		victim = s.parkVictimLocked()
+	}
+	if victim != nil {
+		victim.parkRequested = true
+		s.cfg.Logf("serve: pressure from %s: parking %s (priority %s)",
+			id, victim.status.ID, victim.priority)
+	}
+	cancel := context.CancelFunc(nil)
+	if victim != nil {
+		cancel = victim.cancel
+	}
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// parkVictimLocked picks the running job to park under critical
+// pressure: the most parkable priority class (low, then normal, then
+// high) and within it the newest admission — the one with the least
+// sunk work. Returns nil when fewer than two jobs are running (parking
+// the only running job would just idle the box). The caller holds s.mu.
+func (s *Server) parkVictimLocked() *job {
+	var victim *job
+	rank := func(p batch.Priority) int {
+		switch p {
+		case batch.PriorityLow:
+			return 0
+		case batch.PriorityNormal:
+			return 1
+		}
+		return 2
+	}
+	running := 0
+	for i := len(s.order) - 1; i >= 0; i-- {
+		j := s.jobs[s.order[i]]
+		if j.cancel == nil || j.parkRequested || j.cancelRequested {
+			continue
+		}
+		running++
+		if victim == nil || rank(j.priority) < rank(victim.priority) {
+			victim = j
+		}
+	}
+	if running < 2 {
+		return nil
+	}
+	return victim
+}
+
+// pressureLevelFor parses a journaled Degradation.Level back into the
+// engine's ordered pressure bands.
+func pressureLevelFor(level string) dd.PressureLevel {
+	switch level {
+	case "low":
+		return dd.PressureLow
+	case "high":
+		return dd.PressureHigh
+	case "critical":
+		return dd.PressureCritical
+	}
+	return dd.PressureNone
+}
+
 // QueueDepth returns the number of queued (not running) jobs.
 func (s *Server) QueueDepth() int { return s.pool.Depth() }
 
@@ -527,6 +672,17 @@ func (s *Server) runJob(poolCtx context.Context, id string) {
 	if spec.TimeoutMS > 0 {
 		opt.Deadline = time.Now().Add(time.Duration(spec.TimeoutMS) * time.Millisecond)
 	}
+	if spec.SoftBudget > 0 || spec.Degrade == "ladder" || spec.Degrade == "approx" {
+		opt.SoftBudget = spec.SoftBudget
+		if opt.MaxNodes > 0 && opt.SoftBudget > opt.MaxNodes {
+			// The job's share shrank below its requested soft budget
+			// (server-wide split); govern against the share instead.
+			opt.SoftBudget = opt.MaxNodes
+		}
+		opt.Degrade = spec.Degrade
+		opt.ApproxNodes = spec.ApproxNodes
+		opt.OnPressure = func(d core.Degradation) { s.notePressure(id, d) }
+	}
 	// Resume from the last durable checkpoint when one exists.
 	if ck, lerr := core.LoadCheckpoint(s.jn.ckptPath(id), eng); lerr == nil {
 		if ropt, rerr := core.ResumeOptions(opt, circ, ck); rerr == nil {
@@ -602,13 +758,17 @@ func (s *Server) persistResult(id string, spec *JobSpec, circ *circuit.Circuit, 
 		return nil, fmt.Errorf("%w: result: %w", core.ErrCheckpointWrite, err)
 	}
 	sum := &JobSummary{
-		DurationMS:  res.Duration.Milliseconds(),
-		MatVecSteps: res.MatVecSteps,
-		MatMatSteps: res.MatMatSteps,
-		Fallbacks:   res.Fallbacks,
-		Repairs:     res.Repairs,
-		StateNodes:  res.Engine.SizeV(res.State),
-		Norm:        res.State.Norm(),
+		DurationMS:   res.Duration.Milliseconds(),
+		MatVecSteps:  res.MatVecSteps,
+		MatMatSteps:  res.MatMatSteps,
+		Fallbacks:    res.Fallbacks,
+		Repairs:      res.Repairs,
+		StateNodes:   res.Engine.SizeV(res.State),
+		Norm:         res.State.Norm(),
+		Degradations: len(res.Degradations),
+	}
+	if res.FidelityBound > 0 && res.FidelityBound < 1 {
+		sum.FidelityBound = res.FidelityBound
 	}
 	if spec.Shots > 0 {
 		rng := rand.New(rand.NewSource(spec.Seed))
@@ -648,6 +808,9 @@ func (s *Server) finishJob(id string, res *core.Result, runErr error) {
 		return
 	}
 	j.cancel = nil
+	delete(s.pressure, id)
+	parked := j.parkRequested
+	j.parkRequested = false
 
 	if runErr == nil {
 		j.status.State = StateDone
@@ -691,6 +854,29 @@ func (s *Server) finishJob(id string, res *core.Result, runErr error) {
 		}
 		s.met.jobsParked.Inc()
 		s.cfg.Logf("serve: parked %s at gate %d/%d", id, j.status.Gate, j.status.Gates)
+	case (parked && errors.Is(runErr, core.ErrCanceled) || errors.Is(runErr, core.ErrPressure)) &&
+		j.status.Attempt < s.cfg.Retry.MaxAttempts() && !s.draining:
+		// Parked under memory pressure — either the job's own governor
+		// exhausted its ladder (FailurePressure) or the server chose
+		// this job as the park victim. Re-admit after a backoff, to
+		// resume under a quieter box. This deliberately matches even
+		// when the park checkpoint write failed (ErrCheckpointWrite
+		// joined, core.Retryable false): the journal's previous durable
+		// checkpoint is still a valid resume point, so the job is
+		// re-admitted rather than lost.
+		delay := s.cfg.Retry.Delay(j.status.Attempt-1, s.rng)
+		j.status.State = StateParked
+		j.status.Retryable = true
+		j.status.RetryInMS = delay.Milliseconds()
+		if err := s.jn.saveState(&j.status); err != nil {
+			s.cfg.Logf("serve: journal %s: %v", id, err)
+		}
+		s.met.jobsParked.Inc()
+		s.met.pressureParks.Inc()
+		s.met.retriesPending.Add(1)
+		s.timers[id] = time.AfterFunc(delay, func() { s.fireRetry(id) })
+		s.cfg.Logf("serve: parked %s under memory pressure at gate %d/%d (attempt %d, resume in %s)",
+			id, j.status.Gate, j.status.Gates, j.status.Attempt, delay.Round(time.Millisecond))
 	case retryable && j.status.Attempt < s.cfg.Retry.MaxAttempts() && !s.draining:
 		delay := s.cfg.Retry.Delay(j.status.Attempt-1, s.rng)
 		j.status.State = StateQueued
